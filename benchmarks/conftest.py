@@ -1,0 +1,31 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload scale factor (default 0.1; the paper
+  runs SimPoints/full inputs, we run proportionally shrunk kernels).
+* ``REPRO_FULL=1`` — include the expensive upper-bound configurations
+  (e.g. Figure 10's 4-stream x 1024-entry point).
+"""
+
+import os
+
+import pytest
+
+
+def _scale():
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+def _full():
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return _scale()
+
+
+@pytest.fixture(scope="session")
+def full_mode():
+    return _full()

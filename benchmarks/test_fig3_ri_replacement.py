@@ -1,0 +1,45 @@
+"""Figure 3: RI reuse-table replacement frequency.
+
+The paper's heat map shows dense replacements at 1-way associativity
+that largely disappear at 4 ways (code blocks cluster in contiguous
+sets). We print an ASCII density strip per configuration and check the
+total replacement count drops monotonically with associativity.
+"""
+
+from repro.analysis import fig3_ri_replacements
+
+
+def _density_strip(counts, buckets=32):
+    if not counts:
+        return ""
+    chunk = max(1, len(counts) // buckets)
+    glyphs = " .:-=+*#%@"
+    peak = max(max(counts), 1)
+    out = []
+    for i in range(0, len(counts), chunk):
+        val = sum(counts[i:i + chunk]) / chunk
+        out.append(glyphs[min(int(val / peak * (len(glyphs) - 1) * 3),
+                              len(glyphs) - 1)])
+    return "".join(out)
+
+
+def test_fig3_replacement_frequency(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        fig3_ri_replacements, kwargs={"scale": max(bench_scale, 0.15)},
+        rounds=1, iterations=1)
+
+    print()
+    print("Figure 3: RI table replacements per set "
+          "(dark = frequent replacement)")
+    totals = {}
+    for (bench, ways), counts in sorted(results.items()):
+        total = sum(counts)
+        totals[(bench, ways)] = total
+        print("  %-15s %d-way  total=%-6d  [%s]"
+              % (bench, ways, total, _density_strip(counts)))
+
+    for bench in ("nested-mispred", "linear-mispred"):
+        assert totals[(bench, 1)] >= totals[(bench, 2)] >= \
+            totals[(bench, 4)], bench
+        # Low associativity must show real conflict pressure.
+        assert totals[(bench, 1)] > 0, bench

@@ -1,0 +1,50 @@
+"""Table 2: additional storage for the squash-reuse scheme.
+
+The formulas are implemented exactly; this bench checks the paper's
+published totals to the digit: constant 2.30 KB, variable 1.23 KB,
+total 3.53 KB at N=4, M=16, P=64.
+"""
+
+from repro.analysis import table2_storage, format_table
+from repro.hwmodels.storage import StorageModel
+
+
+def test_table2_storage(benchmark):
+    report = benchmark.pedantic(table2_storage, rounds=1, iterations=1)
+
+    rows = [
+        ["WPB entry", "%d bits" % report["wpb_entry_bits"]],
+        ["Squash Log entry", "%d bits" % report["squash_log_entry_bits"]],
+        ["ROB RGIDs", "%d bits" % report["rob_bits"]],
+        ["RAT (+checkpoints)", "%d bits" % report["rat_bits"]],
+        ["pointers", "%d bits" % report["pointer_bits"]],
+        ["constant", "%.2f KB" % report["constant_kb"]],
+        ["variable", "%.2f KB" % report["variable_kb"]],
+        ["total", "%.2f KB" % report["total_kb"]],
+    ]
+    print()
+    print(format_table(["structure", "cost"], rows,
+                       title="Table 2: storage (N=4, M=16, P=64)"))
+
+    assert report["wpb_entry_bits"] == 23
+    assert report["squash_log_entry_bits"] == 33
+    assert report["constant_bits"] == 18816
+    assert round(report["constant_kb"], 2) == 2.30
+    assert round(report["variable_kb"], 2) == 1.23
+    assert round(report["total_kb"], 2) == 3.53
+
+    # Closed-form formula and structural sum must agree for any config.
+    for n, m, p in [(1, 16, 64), (2, 32, 128), (4, 16, 64), (8, 64, 256)]:
+        model = StorageModel(num_streams=n, wpb_entries=m,
+                             squash_log_entries=p)
+        assert model.variable_bits() == model.variable_bits_formula(), \
+            (n, m, p)
+
+
+def test_storage_scaling(benchmark):
+    def sweep():
+        return [StorageModel(num_streams=n).total_bits()
+                for n in (1, 2, 4, 8, 16)]
+    totals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Monotone in stream count; constant part dominates at small N.
+    assert all(a < b for a, b in zip(totals, totals[1:]))

@@ -1,0 +1,64 @@
+"""Table 4: post-synthesis complexity of the two critical circuits.
+
+Paper anchors (2 GHz, 0.7 V):
+
+    reconvergence detection: 4x16 -> 13 levels / 2682 um^2 / 1.508 mW
+                             4x32 -> 19 / 5283 / 2.984
+                             4x64 -> 20 / 10369 / 5.909
+    reuse test (64-entry SL): width 4 -> 28 / 3201 / 3.039
+                              width 6 -> 32 / 4803 / 4.333
+                              width 8 -> 41 / 6256 / 5.509
+
+Our analytical model is calibrated on one row per circuit; the check is
+that the *other* rows land near the paper and that the scaling trends
+(linear area/power in WPB size, super-linear depth in width) hold.
+"""
+
+from repro.analysis import table4_synthesis, format_table
+
+_PAPER_RECON = {"4x16": (13, 2682, 1.508), "4x32": (19, 5283, 2.984),
+                "4x64": (20, 10369, 5.909)}
+_PAPER_REUSE = {"width 4": (28, 3201, 3.039), "width 6": (32, 4803, 4.333),
+                "width 8": (41, 6256, 5.509)}
+
+
+def _print(rows, paper, title):
+    table = []
+    for r in rows:
+        p_levels, p_area, p_power = paper[r["config"]]
+        table.append([r["config"], r["logic_levels"], p_levels,
+                      r["area_um2"], p_area, r["power_mw"], p_power])
+    print(format_table(
+        ["config", "levels", "(paper)", "area", "(paper)", "power",
+         "(paper)"], table, title=title))
+    print()
+
+
+def test_table4_synthesis(benchmark):
+    synth = benchmark.pedantic(table4_synthesis, rounds=1, iterations=1)
+    print()
+    _print(synth["reconvergence_detection"], _PAPER_RECON,
+           "Table 4: reconvergence detection")
+    _print(synth["reuse_test"], _PAPER_REUSE,
+           "Table 4: reuse test (64-entry squash log)")
+
+    recon = synth["reconvergence_detection"]
+    reuse = synth["reuse_test"]
+
+    # Area and power scale ~linearly with WPB capacity.
+    assert 1.7 < recon[1]["area_um2"] / recon[0]["area_um2"] < 2.3
+    assert 1.7 < recon[2]["area_um2"] / recon[1]["area_um2"] < 2.3
+
+    # Reuse-test depth grows super-linearly toward width 8 (the serial
+    # RGID-increment chain), area roughly linearly.
+    assert reuse[0]["logic_levels"] < reuse[1]["logic_levels"] \
+        < reuse[2]["logic_levels"]
+    assert reuse[2]["area_um2"] < 2.5 * reuse[0]["area_um2"]
+
+    # Absolute calibration stays within 30% of every paper anchor.
+    for rows, paper in ((recon, _PAPER_RECON), (reuse, _PAPER_REUSE)):
+        for r in rows:
+            p_levels, p_area, p_power = paper[r["config"]]
+            assert abs(r["area_um2"] - p_area) / p_area < 0.30, r
+            assert abs(r["power_mw"] - p_power) / p_power < 0.30, r
+            assert abs(r["logic_levels"] - p_levels) / p_levels < 0.45, r

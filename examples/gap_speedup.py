@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Run the GAP suite under baseline / DCI / MSSR / RI and compare IPC.
+
+Reproduces the flavour of the paper's Figure 12 in one script.
+
+Run:  python examples/gap_speedup.py [scale]
+"""
+
+import sys
+
+from repro.analysis import run_workload, format_table
+from repro.workloads.registry import suite_names
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    rows = []
+    for name in suite_names("gap"):
+        base = run_workload(name, "baseline", scale)
+        dci = run_workload(name, "mssr", scale, streams=1, wpb=16, log=64)
+        mssr = run_workload(name, "mssr", scale, streams=4, wpb=16, log=64)
+        ri = run_workload(name, "ri", scale, sets=64, ways=4)
+        dir_ = run_workload(name, "dir", scale, sets=64, ways=4)
+        rows.append([
+            name,
+            "%.3f" % base.ipc,
+            "%+.2f%%" % (100 * (dci.ipc / base.ipc - 1)),
+            "%+.2f%%" % (100 * (mssr.ipc / base.ipc - 1)),
+            "%+.2f%%" % (100 * (ri.ipc / base.ipc - 1)),
+            "%+.2f%%" % (100 * (dir_.ipc / base.ipc - 1)),
+            mssr.reuse_successes,
+            mssr.reconvergences,
+        ])
+    print(format_table(
+        ["bench", "base IPC", "DCI(1-strm)", "MSSR(4-strm)", "RI(4-way)",
+         "DIR(4-way)", "reused", "reconv"],
+        rows, title="GAP suite, scale=%.2f" % scale))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Hardware cost of the mechanism (the paper's Tables 2 and 4).
+
+Sweeps storage cost across stream counts / capacities and prints the
+analytical synthesis estimates for the two critical circuits.
+
+Run:  python examples/hardware_budget.py
+"""
+
+from repro.analysis import table2_storage, table4_synthesis, format_table
+
+
+def main():
+    rows = []
+    for streams, wpb, log in [(1, 16, 64), (2, 16, 64), (4, 16, 64),
+                              (4, 64, 256), (8, 16, 64)]:
+        report = table2_storage(streams, wpb, log)
+        rows.append(["N=%d M=%d P=%d" % (streams, wpb, log),
+                     report["constant_kb"],
+                     report["variable_kb"],
+                     report["total_kb"]])
+    print(format_table(
+        ["config", "constant KB", "variable KB", "total KB"],
+        rows, title="Squash-reuse storage (Table 2 model)"))
+    print("(paper's N=4 M=16 P=64 point: 2.30 + 1.23 = 3.53 KB)\n")
+
+    synth = table4_synthesis()
+    rows = [[r["config"], r["logic_levels"], r["area_um2"], r["power_mw"]]
+            for r in synth["reconvergence_detection"]]
+    print(format_table(["WPB size", "logic levels", "area um^2",
+                        "power mW @0.7V"],
+                       rows, title="Reconvergence detection (Table 4)"))
+    rows = [[r["config"], r["logic_levels"], r["area_um2"], r["power_mw"]]
+            for r in synth["reuse_test"]]
+    print()
+    print(format_table(["pipeline", "logic levels", "area um^2",
+                        "power mW @0.7V"],
+                       rows, title="Reuse test, 64-entry squash log"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Profile reconvergence behaviour (the paper's Figures 4 and 11).
+
+Shows, per workload, how reconvergence splits into simple /
+software-induced / hardware-induced multi-stream cases, and the
+aggregate stream-distance distribution — the two observations that
+motivate tracking multiple squashed streams.
+
+Run:  python examples/reconvergence_profile.py [scale]
+"""
+
+import sys
+
+from repro.analysis import (
+    fig4_reconvergence_types,
+    fig11_stream_distance,
+    format_table,
+)
+from repro.analysis.experiments import multi_stream_fraction, distance_cdf
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.12
+
+    breakdown = fig4_reconvergence_types(scale)
+    rows = []
+    for name, (simple, software, hardware) in sorted(breakdown.items()):
+        rows.append([name,
+                     "%5.1f%%" % (100 * simple),
+                     "%5.1f%%" % (100 * software),
+                     "%5.1f%%" % (100 * hardware),
+                     "%5.1f%%" % (100 * (software + hardware))])
+    print(format_table(
+        ["workload", "simple", "sw-induced", "hw-induced",
+         "missed by 1-stream"],
+        rows, title="Reconvergence type breakdown (Figure 4)"))
+
+    fractions, avg = multi_stream_fraction(breakdown)
+    peak = max(fractions.items(), key=lambda kv: kv[1]) if fractions \
+        else ("-", 0.0)
+    print("\nmulti-stream share: average %.1f%%, max %.1f%% (%s)"
+          % (100 * avg, 100 * peak[1], peak[0]))
+    print("(paper: average 10%, up to 31%)")
+
+    hist = fig11_stream_distance(scale)
+    print("\nStream distance CDF (Figure 11):")
+    for distance, cum in distance_cdf(hist):
+        print("  distance <= %d : %5.1f%%" % (distance, 100 * cum))
+
+
+if __name__ == "__main__":
+    main()

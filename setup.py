@@ -1,0 +1,10 @@
+"""Classic setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (which build a wheel) fail. ``pip install -e .``
+falls back to this setup.py via ``--no-use-pep517``; plain
+``python setup.py develop`` also works.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — reproduction of *Multi-Stream Squash Reuse for
+Control-Independent Processors* (MICRO 2025).
+
+Public API quick tour::
+
+    from repro import Module, array_ref, O3Core, mssr_config, run_program
+
+    mod = Module()
+    mod.add_function(my_kernel)          # restricted-Python kernel
+    prog = mod.build("my_kernel", [...])
+
+    result = O3Core(prog, mssr_config()).run()
+    print(result.stats.ipc, result.stats.reuse_successes)
+
+See :mod:`repro.workloads` for the paper's benchmark suites and
+:mod:`repro.analysis` for the experiment harness behind every table and
+figure.
+"""
+
+from repro.isa import Assembler, assemble_text, Program, Instruction, Op
+from repro.emu import Emulator, SparseMemory
+from repro.emu.emulator import run_program
+from repro.compiler import Module, array_ref, hash64, min64, max64
+from repro.pipeline import (
+    CoreConfig,
+    MSSRConfig,
+    RIConfig,
+    O3Core,
+    SimResult,
+    SimulationError,
+    baseline_config,
+    mssr_config,
+    dci_config,
+    ri_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assembler",
+    "assemble_text",
+    "Program",
+    "Instruction",
+    "Op",
+    "Emulator",
+    "SparseMemory",
+    "run_program",
+    "Module",
+    "array_ref",
+    "hash64",
+    "min64",
+    "max64",
+    "CoreConfig",
+    "MSSRConfig",
+    "RIConfig",
+    "O3Core",
+    "SimResult",
+    "SimulationError",
+    "baseline_config",
+    "mssr_config",
+    "dci_config",
+    "ri_config",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Experiment harness: one entry point per paper table/figure."""
+
+from repro.analysis.experiments import (
+    run_workload,
+    config_for,
+    table1_microbench,
+    fig3_ri_replacements,
+    fig4_reconvergence_types,
+    fig10_ipc_sweep,
+    fig11_stream_distance,
+    fig12_rgid_vs_ri,
+    table2_storage,
+    table4_synthesis,
+    geomean_improvement,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "run_workload",
+    "config_for",
+    "table1_microbench",
+    "fig3_ri_replacements",
+    "fig4_reconvergence_types",
+    "fig10_ipc_sweep",
+    "fig11_stream_distance",
+    "fig12_rgid_vs_ri",
+    "table2_storage",
+    "table4_synthesis",
+    "geomean_improvement",
+    "format_table",
+]

@@ -1,0 +1,283 @@
+"""Programmatic reproduction of every table and figure in the paper.
+
+Each ``table*``/``fig*`` function runs the required simulations (with
+in-process result caching, since e.g. the baseline runs are shared
+across experiments) and returns plain data structures; the benchmark
+files under ``benchmarks/`` print and sanity-check them, and
+EXPERIMENTS.md records paper-vs-measured values.
+
+Simulated runs are scaled down from the paper's SimPoint/full-input
+sizes via the ``scale`` parameter — shapes (who wins, where) are the
+reproduction target, not absolute cycle counts.
+"""
+
+import math
+
+from repro.pipeline.config import (
+    baseline_config,
+    mssr_config,
+    ri_config,
+)
+from repro.pipeline.core import O3Core
+from repro.workloads import get_workload
+from repro.workloads.registry import suite_names
+from repro.hwmodels.storage import StorageModel
+from repro.hwmodels.synthesis import (
+    reconvergence_detection_report,
+    reuse_test_report,
+)
+
+_RESULT_CACHE = {}
+
+
+def config_for(kind, **params):
+    """Build a named configuration.
+
+    ``kind``: ``baseline``, ``mssr`` (params: streams, wpb, log) or
+    ``ri`` (params: sets, ways).
+    """
+    if kind == "baseline":
+        return baseline_config()
+    if kind == "mssr":
+        return mssr_config(num_streams=params.get("streams", 4),
+                           wpb_entries=params.get("wpb", 16),
+                           squash_log_entries=params.get("log", 64))
+    if kind == "ri":
+        return ri_config(num_sets=params.get("sets", 64),
+                         assoc=params.get("ways", 4))
+    if kind == "dir":
+        # DIR plugs in as an explicit scheme object (value-based reuse
+        # needs no core configuration beyond the baseline).
+        return baseline_config()
+    raise ValueError("unknown config kind %r" % kind)
+
+
+def _scheme_for(kind, **params):
+    if kind != "dir":
+        return None
+    from repro.baselines.dir_reuse import DynamicInstructionReuse, DIRConfig
+    return DynamicInstructionReuse(DIRConfig(
+        num_sets=params.get("sets", 64), assoc=params.get("ways", 4)))
+
+
+def run_workload(name, kind="baseline", scale=0.15, **params):
+    """Simulate one workload under one configuration; returns SimStats.
+
+    ``kind``: ``baseline``, ``mssr``, ``ri`` or ``dir``. Results are
+    cached per (workload, scale, config) for the lifetime of the process.
+    """
+    key = (name, round(scale, 6), kind, tuple(sorted(params.items())))
+    if key in _RESULT_CACHE:
+        return _RESULT_CACHE[key]
+    workload = get_workload(name)
+    _mod, prog = workload.build(scale)
+    config = config_for(kind, **params)
+    scheme = _scheme_for(kind, **params)
+    result = O3Core(prog, config, reuse_scheme=scheme).run()
+    _RESULT_CACHE[key] = result.stats
+    return result.stats
+
+
+def speedup(stats, base_stats):
+    """Runtime improvement of ``stats`` over ``base_stats`` (cycles)."""
+    return base_stats.cycles / stats.cycles - 1.0
+
+
+def geomean_improvement(improvements):
+    """Geometric mean of (1 + improvement) - 1."""
+    if not improvements:
+        return 0.0
+    log_sum = sum(math.log1p(v) for v in improvements)
+    return math.expm1(log_sum / len(improvements))
+
+
+# ---------------------------------------------------------------------------
+# Table 1: microbenchmark speedups, MSSR streams vs RI associativity
+# ---------------------------------------------------------------------------
+def table1_microbench(scale=0.2):
+    """Returns {bench: {("mssr", n): improvement, ("ri", w): improvement}}.
+
+    Matches the paper's setup: MSSR tracks 1/2/4 streams of up to 64
+    instructions; RI uses a 64-set table with 1/2/4 ways (capacity-
+    matched).
+    """
+    out = {}
+    for bench in ("nested-mispred", "linear-mispred"):
+        base = run_workload(bench, "baseline", scale)
+        row = {}
+        for streams in (1, 2, 4):
+            stats = run_workload(bench, "mssr", scale,
+                                 streams=streams, wpb=16, log=64)
+            row[("mssr", streams)] = speedup(stats, base)
+        for ways in (1, 2, 4):
+            stats = run_workload(bench, "ri", scale, sets=64, ways=ways)
+            row[("ri", ways)] = speedup(stats, base)
+        out[bench] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: RI reuse-table replacement frequencies
+# ---------------------------------------------------------------------------
+def fig3_ri_replacements(scale=0.2, num_sets=64):
+    """Returns {(bench, ways): per-set replacement count list}."""
+    out = {}
+    for bench in ("nested-mispred", "linear-mispred"):
+        for ways in (1, 2, 4):
+            stats = run_workload(bench, "ri", scale,
+                                 sets=num_sets, ways=ways)
+            out[(bench, ways)] = list(stats.ri_set_replacements or
+                                      [0] * num_sets)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: reconvergence-type breakdown (and the intro's "10% avg / 31%
+# max missed by single-stream" statistic)
+# ---------------------------------------------------------------------------
+def fig4_reconvergence_types(scale=0.15, workloads=None):
+    """Returns {workload: (simple, software, hardware)} as fractions."""
+    if workloads is None:
+        workloads = (suite_names("spec2006") + suite_names("spec2017")
+                     + suite_names("gap"))
+    out = {}
+    for name in workloads:
+        stats = run_workload(name, "mssr", scale,
+                             streams=4, wpb=16, log=64)
+        total = (stats.reconv_simple + stats.reconv_software
+                 + stats.reconv_hardware)
+        if total == 0:
+            out[name] = (0.0, 0.0, 0.0)
+        else:
+            out[name] = (stats.reconv_simple / total,
+                         stats.reconv_software / total,
+                         stats.reconv_hardware / total)
+    return out
+
+
+def multi_stream_fraction(breakdown):
+    """Fraction of reconvergence missed by single-stream tracking
+    (software-induced + hardware-induced), per workload and averaged."""
+    fractions = {name: soft + hard
+                 for name, (_simple, soft, hard) in breakdown.items()}
+    values = [v for v in fractions.values()]
+    avg = sum(values) / len(values) if values else 0.0
+    return fractions, avg
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: IPC improvement across stream/WPB configurations
+# ---------------------------------------------------------------------------
+#: (streams, wpb entries) points from the paper; the squash log stream is
+#: 4x the WPB size (4 instructions per fetch block on average, 4.1.2).
+FIG10_CONFIGS = ((1, 16), (1, 64), (2, 64), (4, 64))
+FIG10_UPPER_BOUND = (4, 1024)
+
+
+def fig10_ipc_sweep(scale=0.12, suites=("spec2006", "spec2017", "gap"),
+                    configs=FIG10_CONFIGS):
+    """Returns {suite: {workload: {(streams, wpb): ipc_improvement}}}."""
+    out = {}
+    for suite in suites:
+        suite_out = {}
+        for workload in suite_names(suite):
+            base = run_workload(workload, "baseline", scale)
+            row = {}
+            for streams, wpb in configs:
+                stats = run_workload(workload, "mssr", scale,
+                                     streams=streams, wpb=wpb,
+                                     log=min(4 * wpb, 4096))
+                row[(streams, wpb)] = stats.ipc / base.ipc - 1.0
+            suite_out[workload] = row
+        out[suite] = suite_out
+    return out
+
+
+def fig10_suite_averages(sweep):
+    """Average improvement per suite per configuration."""
+    out = {}
+    for suite, rows in sweep.items():
+        config_values = {}
+        for row in rows.values():
+            for config, value in row.items():
+                config_values.setdefault(config, []).append(value)
+        out[suite] = {config: geomean_improvement(values)
+                      for config, values in config_values.items()}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: reconvergence stream distance
+# ---------------------------------------------------------------------------
+def fig11_stream_distance(scale=0.12, workloads=None, streams=8):
+    """Aggregated stream-distance histogram {distance: count}.
+
+    Uses a deep (8-stream) configuration so distances beyond the default
+    4 are observable, as the paper's profiling does.
+    """
+    if workloads is None:
+        workloads = (suite_names("spec2006") + suite_names("spec2017")
+                     + suite_names("gap"))
+    hist = {}
+    for name in workloads:
+        stats = run_workload(name, "mssr", scale,
+                             streams=streams, wpb=16, log=64)
+        for distance, count in stats.stream_distance_hist.items():
+            hist[distance] = hist.get(distance, 0) + count
+    return hist
+
+
+def distance_cdf(hist):
+    """Cumulative fraction by distance (sorted)."""
+    total = sum(hist.values())
+    out = []
+    running = 0
+    for distance in sorted(hist):
+        running += hist[distance]
+        out.append((distance, running / total if total else 0.0))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: RGID (MSSR) vs RI on GAP at matched capacities
+# ---------------------------------------------------------------------------
+def fig12_rgid_vs_ri(scale=0.12,
+                     rgid_configs=((1, 64), (2, 64), (4, 64),
+                                   (1, 128), (2, 128), (4, 128)),
+                     ri_configs=((64, 1), (64, 2), (64, 4),
+                                 (128, 1), (128, 2), (128, 4))):
+    """Returns {workload: {"rgid (n,p)": imp, "ri (sets,ways)": imp}}.
+
+    ``rgid_configs`` are (streams, log entries); WPB entries are one
+    quarter of the log size (Section 4.1.2). ``ri_configs`` are
+    (sets, ways) — total entries are capacity-matched against RGID.
+    """
+    out = {}
+    for workload in suite_names("gap"):
+        base = run_workload(workload, "baseline", scale)
+        row = {}
+        for streams, log in rgid_configs:
+            stats = run_workload(workload, "mssr", scale, streams=streams,
+                                 wpb=max(4, log // 4), log=log)
+            row[("rgid", streams, log)] = stats.ipc / base.ipc - 1.0
+        for sets, ways in ri_configs:
+            stats = run_workload(workload, "ri", scale,
+                                 sets=sets, ways=ways)
+            row[("ri", sets, ways)] = stats.ipc / base.ipc - 1.0
+        out[workload] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Tables 2 and 4: hardware models
+# ---------------------------------------------------------------------------
+def table2_storage(num_streams=4, wpb_entries=16, squash_log_entries=64):
+    model = StorageModel(num_streams=num_streams, wpb_entries=wpb_entries,
+                         squash_log_entries=squash_log_entries)
+    return model.report()
+
+
+def table4_synthesis():
+    recon = [reconvergence_detection_report(4, m) for m in (16, 32, 64)]
+    reuse = [reuse_test_report(w) for w in (4, 6, 8)]
+    return {"reconvergence_detection": recon, "reuse_test": reuse}

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for experiment output."""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned ASCII table.
+
+    ``rows`` may contain ints, floats (rendered with 3 decimals unless
+    they are percentages already formatted as strings) or strings.
+    """
+    def render(cell):
+        if isinstance(cell, float):
+            return "%.3f" % cell
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _numeric(cell):
+    stripped = cell.replace("%", "").replace("+", "").replace("-", "") \
+        .replace(".", "").replace("x", "")
+    return stripped.isdigit()
+
+
+def pct(value):
+    """Format a ratio as a signed percentage string."""
+    return "%+.2f%%" % (100.0 * value)

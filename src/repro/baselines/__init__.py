@@ -1,0 +1,14 @@
+"""Squash-reuse schemes: the common interface and the RI baseline.
+
+The paper's own mechanism (MSSR) lives in :mod:`repro.mssr`; it
+implements the same :class:`ReuseScheme` interface, as does the
+Register Integration baseline here. DCI is evaluated as single-stream
+MSSR, exactly as in the paper (Section 4.1.2).
+"""
+
+from repro.baselines.base import ReuseScheme, NullScheme, ReuseResult
+from repro.baselines.register_integration import RegisterIntegration
+from repro.baselines.dir_reuse import DynamicInstructionReuse, DIRConfig
+
+__all__ = ["ReuseScheme", "NullScheme", "ReuseResult",
+           "RegisterIntegration", "DynamicInstructionReuse", "DIRConfig"]

@@ -1,0 +1,25 @@
+"""Mini-compiler from a restricted Python subset to the simulator ISA.
+
+Workload kernels are ordinary Python functions written in a constrained
+style (64-bit integer locals, 1-D array parameters indexed with ``a[i]``,
+``if``/``while``/``for range`` control flow, calls between kernels, and the
+``hash64``/``min64``/``max64`` intrinsics). :class:`Module` compiles them
+to ISA code and can also *run them natively* under wrapping 64-bit
+semantics, giving every workload a built-in oracle.
+"""
+
+from repro.compiler.errors import CompileError
+from repro.compiler.module import Module, array_ref
+from repro.compiler.intrinsics import hash64, min64, max64
+from repro.compiler.runtime import I64, native_call
+
+__all__ = [
+    "CompileError",
+    "Module",
+    "array_ref",
+    "hash64",
+    "min64",
+    "max64",
+    "I64",
+    "native_call",
+]

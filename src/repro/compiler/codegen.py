@@ -1,0 +1,796 @@
+"""AST -> ISA code generation for one function.
+
+Calling convention (RISC-V flavoured):
+
+* arguments in ``a0``-``a7``, result in ``a0``, link register ``ra``;
+* locals live in callee-saved ``s0``-``s11``, overflowing to stack slots;
+* expression evaluation uses the caller-saved temporaries ``t0``-``t6``
+  as an operand stack, spilled around calls;
+* every frame reserves a temp-save area so nested calls inside
+  expressions cannot clobber live temporaries.
+
+The generated control flow intentionally mirrors the source: each ``if``
+becomes one conditional branch, loops end in a backward branch, and
+short-circuit ``and``/``or`` become branch ladders — this is what gives
+the synthetic workloads realistic branch behaviour.
+"""
+
+import ast
+
+from repro.compiler.errors import CompileError
+from repro.compiler.intrinsics import INTRINSIC_NAMES
+from repro.isa.opcodes import Op, IMM_FORM
+from repro.isa.registers import CALLEE_SAVED, CALLER_SAVED_TEMPS, ARG_REGS
+
+_BINOP_OPS = {
+    ast.Add: Op.ADD,
+    ast.Sub: Op.SUB,
+    ast.Mult: Op.MUL,
+    ast.FloorDiv: Op.DIV,
+    ast.Mod: Op.REM,
+    ast.BitAnd: Op.AND,
+    ast.BitOr: Op.OR,
+    ast.BitXor: Op.XOR,
+    ast.LShift: Op.SLL,
+    ast.RShift: Op.SRA,
+}
+
+# branch-if-true: (opcode, swap_operands)
+_CMP_TRUE = {
+    ast.Lt: (Op.BLT, False),
+    ast.Gt: (Op.BLT, True),
+    ast.GtE: (Op.BGE, False),
+    ast.LtE: (Op.BGE, True),
+    ast.Eq: (Op.BEQ, False),
+    ast.NotEq: (Op.BNE, False),
+}
+
+# branch-if-false: (opcode, swap_operands)
+_CMP_FALSE = {
+    ast.Lt: (Op.BGE, False),
+    ast.Gt: (Op.BGE, True),
+    ast.GtE: (Op.BLT, False),
+    ast.LtE: (Op.BLT, True),
+    ast.Eq: (Op.BNE, False),
+    ast.NotEq: (Op.BEQ, False),
+}
+
+_WORD = 8
+_NUM_TEMPS = len(CALLER_SAVED_TEMPS)
+_NUM_ARG_SLOTS = len(ARG_REGS)
+
+
+def function_label(name):
+    """Assembler label of a compiled function."""
+    return "fn_%s" % name
+
+
+class _LocalsCollector(ast.NodeVisitor):
+    """Find every name assigned in a function body (in first-use order)."""
+
+    def __init__(self):
+        self.names = []
+        self.seen = set()
+        self.has_call = False
+        self.for_nodes = []
+
+    def add(self, name):
+        if name not in self.seen:
+            self.seen.add(name)
+            self.names.append(name)
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        if isinstance(node.target, ast.Name):
+            self.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_For(self, node):
+        if isinstance(node.target, ast.Name):
+            self.add(node.target.id)
+        self.for_nodes.append(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        if isinstance(node.func, ast.Name) and node.func.id not in (
+                INTRINSIC_NAMES + ("range",)):
+            self.has_call = True
+        self.generic_visit(node)
+
+
+class FunctionCompiler:
+    """Compile a single ``ast.FunctionDef`` into the shared assembler."""
+
+    def __init__(self, module, func_def, asm):
+        self.module = module
+        self.func = func_def
+        self.name = func_def.name
+        self.asm = asm
+        self._label_counter = 0
+        self._loop_stack = []  # (continue_label, break_label)
+        self._active_temps = []
+        self._analyse()
+        self._free_temps = list(self._temp_pool)
+
+    # ------------------------------------------------------------------
+    # Frame layout
+    # ------------------------------------------------------------------
+    def _analyse(self):
+        params = [a.arg for a in self.func.args.args]
+        if len(params) > _NUM_ARG_SLOTS:
+            raise CompileError("more than %d parameters" % _NUM_ARG_SLOTS,
+                               self.func, self.name)
+        collector = _LocalsCollector()
+        for stmt in self.func.body:
+            collector.visit(stmt)
+        local_names = params + [n for n in collector.names
+                                if n not in params]
+        # Each `for` loop gets a hidden local caching its range() bound
+        # (evaluated once, matching Python semantics).
+        self.for_stop_names = {}
+        for i, for_node in enumerate(collector.for_nodes):
+            name = "$stop%d" % i
+            self.for_stop_names[id(for_node)] = name
+            local_names.append(name)
+        self.params = params
+        self.is_leaf = not collector.has_call
+
+        # Register allocation. Leaf functions keep locals in caller-saved
+        # registers (params stay in their argument registers), giving a
+        # frameless body with no stack traffic — like any -O2 compiler.
+        # Non-leaf functions place locals in callee-saved s-registers,
+        # overflowing to stack slots.
+        self.reg_locals = {}
+        self.stack_locals = {}
+        self._temp_pool = list(CALLER_SAVED_TEMPS)
+        leaf_pool = (["t4", "t5", "t6"]
+                     + [reg for reg in reversed(ARG_REGS)
+                        if reg not in (ARG_REGS[:len(params)])])
+        others = [n for n in local_names if n not in params]
+        if self.is_leaf and len(others) <= len(leaf_pool):
+            for i, name in enumerate(params):
+                self.reg_locals[name] = ARG_REGS[i]
+            for i, name in enumerate(others):
+                self.reg_locals[name] = leaf_pool[i]
+            self._temp_pool = ["t0", "t1", "t2", "t3"]
+        else:
+            for i, name in enumerate(local_names):
+                if i < len(CALLEE_SAVED):
+                    self.reg_locals[name] = CALLEE_SAVED[i]
+                else:
+                    self.stack_locals[name] = None  # offset assigned below
+
+        # Frame: [temp save][spill slots][saved s-regs][saved ra]
+        # (leaf functions never spill temps around calls, so they skip
+        # the temp-save area; fully register-allocated leaves end up
+        # frameless.)
+        offset = 0
+        self.temp_save_base = offset
+        if not self.is_leaf:
+            offset += _NUM_TEMPS * _WORD
+        for name in self.stack_locals:
+            self.stack_locals[name] = offset
+            offset += _WORD
+        self.saved_sregs = [reg for reg in self.reg_locals.values()
+                            if reg in CALLEE_SAVED]
+        self.sreg_save = {}
+        for sreg in self.saved_sregs:
+            self.sreg_save[sreg] = offset
+            offset += _WORD
+        self.ra_offset = None
+        if not self.is_leaf:
+            self.ra_offset = offset
+            offset += _WORD
+        self.frame_size = (offset + 15) & ~15
+
+    # ------------------------------------------------------------------
+    # Small helpers
+    # ------------------------------------------------------------------
+    def _new_label(self, kind):
+        self._label_counter += 1
+        return "%s$%s%d" % (self.name, kind, self._label_counter)
+
+    def _alloc_temp(self, node=None):
+        if not self._free_temps:
+            raise CompileError(
+                "expression too complex (out of temporaries)", node,
+                self.name)
+        reg = self._free_temps.pop(0)
+        self._active_temps.append(reg)
+        return reg
+
+    def _release(self, reg):
+        if reg in self._active_temps:
+            self._active_temps.remove(reg)
+            self._free_temps.insert(0, reg)
+
+    def _is_temp(self, reg):
+        return reg in self._active_temps
+
+    def _err(self, message, node):
+        raise CompileError(message, node, self.name)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def compile(self):
+        asm = self.asm
+        asm.label(function_label(self.name))
+        if self.frame_size:
+            asm.addi("sp", "sp", -self.frame_size)
+        if self.ra_offset is not None:
+            asm.sd("ra", "sp", self.ra_offset)
+        for sreg, off in self.sreg_save.items():
+            asm.sd(sreg, "sp", off)
+        for i, name in enumerate(self.params):
+            self._store_local(name, ARG_REGS[i])
+        self._epilogue_label = self._new_label("epilogue")
+
+        for stmt in self.func.body:
+            self._stmt(stmt)
+        # Implicit `return 0`.
+        asm.li("a0", 0)
+        asm.label(self._epilogue_label)
+        for sreg, off in self.sreg_save.items():
+            asm.ld(sreg, "sp", off)
+        if self.ra_offset is not None:
+            asm.ld("ra", "sp", self.ra_offset)
+        if self.frame_size:
+            asm.addi("sp", "sp", self.frame_size)
+        asm.ret()
+
+    # ------------------------------------------------------------------
+    # Locals access
+    # ------------------------------------------------------------------
+    def _load_local(self, name, node=None):
+        """Return a register holding local ``name`` (may be its s-reg)."""
+        if name in self.reg_locals:
+            return self.reg_locals[name]
+        if name in self.stack_locals:
+            reg = self._alloc_temp(node)
+            self.asm.ld(reg, "sp", self.stack_locals[name])
+            return reg
+        self._err("unknown variable %r" % name, node)
+
+    def _store_local(self, name, reg):
+        if name in self.reg_locals:
+            if self.reg_locals[name] != reg:
+                self.asm.mv(self.reg_locals[name], reg)
+        elif name in self.stack_locals:
+            self.asm.sd(reg, "sp", self.stack_locals[name])
+        else:
+            raise CompileError("unknown variable %r" % name,
+                               function=self.name)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _stmt(self, node):
+        if isinstance(node, ast.Assign):
+            self._stmt_assign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._stmt_augassign(node)
+        elif isinstance(node, ast.If):
+            self._stmt_if(node)
+        elif isinstance(node, ast.While):
+            self._stmt_while(node)
+        elif isinstance(node, ast.For):
+            self._stmt_for(node)
+        elif isinstance(node, ast.Return):
+            self._stmt_return(node)
+        elif isinstance(node, ast.Break):
+            if not self._loop_stack:
+                self._err("break outside loop", node)
+            self.asm.j(self._loop_stack[-1][1])
+        elif isinstance(node, ast.Continue):
+            if not self._loop_stack:
+                self._err("continue outside loop", node)
+            self.asm.j(self._loop_stack[-1][0])
+        elif isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Constant):  # docstring
+                return
+            reg = self._eval(node.value)
+            self._release(reg)
+        elif isinstance(node, ast.Pass):
+            pass
+        else:
+            self._err("unsupported statement %s" % type(node).__name__, node)
+
+    def _stmt_assign(self, node):
+        if len(node.targets) != 1:
+            self._err("chained assignment not supported", node)
+        target = node.targets[0]
+        if isinstance(target, ast.Name):
+            reg = self._eval(node.value)
+            self._store_local(target.id, reg)
+            self._release(reg)
+        elif isinstance(target, ast.Subscript):
+            self._store_subscript(target, node.value)
+        else:
+            self._err("unsupported assignment target", node)
+
+    def _stmt_augassign(self, node):
+        op = type(node.op)
+        if op not in _BINOP_OPS:
+            self._err("unsupported augmented op", node)
+        binop = ast.BinOp(left=self._target_as_expr(node.target),
+                          op=node.op, right=node.value)
+        ast.copy_location(binop, node)
+        ast.fix_missing_locations(binop)
+        if isinstance(node.target, ast.Name):
+            reg = self._eval(binop)
+            self._store_local(node.target.id, reg)
+            self._release(reg)
+        elif isinstance(node.target, ast.Subscript):
+            self._store_subscript(node.target, binop)
+        else:
+            self._err("unsupported augmented target", node)
+
+    @staticmethod
+    def _target_as_expr(target):
+        expr = ast.copy_location(
+            ast.Subscript(value=target.value, slice=target.slice,
+                          ctx=ast.Load())
+            if isinstance(target, ast.Subscript)
+            else ast.Name(id=target.id, ctx=ast.Load()),
+            target)
+        ast.fix_missing_locations(expr)
+        return expr
+
+    def _stmt_if(self, node):
+        else_label = self._new_label("else")
+        self._branch_if_false(node.test, else_label)
+        for stmt in node.body:
+            self._stmt(stmt)
+        if node.orelse:
+            end_label = self._new_label("endif")
+            self.asm.j(end_label)
+            self.asm.label(else_label)
+            for stmt in node.orelse:
+                self._stmt(stmt)
+            self.asm.label(end_label)
+        else:
+            self.asm.label(else_label)
+
+    def _stmt_while(self, node):
+        if node.orelse:
+            self._err("while/else not supported", node)
+        head = self._new_label("while")
+        end = self._new_label("endwhile")
+        self.asm.label(head)
+        self._branch_if_false(node.test, end)
+        self._loop_stack.append((head, end))
+        for stmt in node.body:
+            self._stmt(stmt)
+        self._loop_stack.pop()
+        self.asm.j(head)
+        self.asm.label(end)
+
+    def _stmt_for(self, node):
+        if node.orelse:
+            self._err("for/else not supported", node)
+        if not isinstance(node.target, ast.Name):
+            self._err("for target must be a name", node)
+        call = node.iter
+        if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Name)
+                and call.func.id == "range"):
+            self._err("only `for x in range(...)` is supported", node)
+        args = call.args
+        if len(args) == 1:
+            start, stop, step = ast.Constant(value=0), args[0], 1
+        elif len(args) == 2:
+            start, stop, step = args[0], args[1], 1
+        elif len(args) == 3:
+            step = self._constant_int(args[2])
+            if step is None:
+                self._err("range() step must be a constant", node)
+            start, stop = args[0], args[1]
+        else:
+            self._err("bad range() arity", node)
+        if step == 0:
+            self._err("range() step must be nonzero", node)
+        ast.copy_location(start, node)
+        ast.fix_missing_locations(start)
+
+        var = node.target.id
+        # i = start
+        reg = self._eval(start)
+        self._store_local(var, reg)
+        self._release(reg)
+        # stop bound: evaluated once into a dedicated slot to match Python.
+        stop_reg = self._eval(stop)
+        stop_local = self.for_stop_names[id(node)]
+        self._store_local(stop_local, stop_reg)
+        self._release(stop_reg)
+
+        head = self._new_label("for")
+        cont = self._new_label("forcont")
+        end = self._new_label("endfor")
+        asm = self.asm
+        asm.label(head)
+        ivar = self._load_local(var, node)
+        bound = self._load_local(stop_local, node)
+        if step > 0:
+            asm.branch(Op.BGE, ivar, bound, end)
+        else:
+            asm.branch(Op.BGE, bound, ivar, end)
+        self._release(ivar)
+        self._release(bound)
+        self._loop_stack.append((cont, end))
+        for stmt in node.body:
+            self._stmt(stmt)
+        self._loop_stack.pop()
+        asm.label(cont)
+        ivar = self._load_local(var, node)
+        if ivar in self.reg_locals.values():
+            asm.addi(ivar, ivar, step)
+        else:
+            asm.addi(ivar, ivar, step)
+            self._store_local(var, ivar)
+        self._release(ivar)
+        asm.j(head)
+        asm.label(end)
+
+    @staticmethod
+    def _constant_int(node):
+        """Fold a literal (possibly negated) integer; None otherwise."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            inner = FunctionCompiler._constant_int(node.operand)
+            if inner is not None:
+                return -inner
+        return None
+
+    def _stmt_return(self, node):
+        if node.value is not None:
+            reg = self._eval(node.value)
+            if reg != "a0":
+                self.asm.mv("a0", reg)
+            self._release(reg)
+        else:
+            self.asm.li("a0", 0)
+        self.asm.j(self._epilogue_label)
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def _branch_if_false(self, test, label):
+        if isinstance(test, ast.Compare):
+            self._branch_compare(test, label, when_true=False)
+        elif isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            for value in test.values:
+                self._branch_if_false(value, label)
+        elif isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+            true_label = self._new_label("ortrue")
+            for value in test.values[:-1]:
+                self._branch_if_true(value, true_label)
+            self._branch_if_false(test.values[-1], label)
+            self.asm.label(true_label)
+        elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            self._branch_if_true(test.operand, label)
+        elif isinstance(test, ast.Constant):
+            if not test.value:
+                self.asm.j(label)
+        else:
+            reg = self._eval(test)
+            self.asm.beqz(reg, label)
+            self._release(reg)
+
+    def _branch_if_true(self, test, label):
+        if isinstance(test, ast.Compare):
+            self._branch_compare(test, label, when_true=True)
+        elif isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+            for value in test.values:
+                self._branch_if_true(value, label)
+        elif isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            false_label = self._new_label("andfalse")
+            for value in test.values[:-1]:
+                self._branch_if_false(value, false_label)
+            self._branch_if_true(test.values[-1], label)
+            self.asm.label(false_label)
+        elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            self._branch_if_false(test.operand, label)
+        elif isinstance(test, ast.Constant):
+            if test.value:
+                self.asm.j(label)
+        else:
+            reg = self._eval(test)
+            self.asm.bnez(reg, label)
+            self._release(reg)
+
+    def _branch_compare(self, node, label, when_true):
+        if len(node.ops) != 1:
+            self._err("chained comparisons not supported", node)
+        table = _CMP_TRUE if when_true else _CMP_FALSE
+        op_type = type(node.ops[0])
+        if op_type not in table:
+            self._err("unsupported comparison", node)
+        opcode, swap = table[op_type]
+        left = self._eval(node.left)
+        right = self._eval(node.comparators[0])
+        if swap:
+            left, right = right, left
+        self.asm.branch(opcode, left, right, label)
+        self._release(left)
+        self._release(right)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _eval(self, node):
+        """Evaluate an expression; returns a register holding the value."""
+        if isinstance(node, ast.Constant):
+            return self._eval_constant(node)
+        if isinstance(node, ast.Name):
+            return self._load_local(node.id, node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval_unary(node)
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BoolOp):
+            return self._eval_boolop(node)
+        self._err("unsupported expression %s" % type(node).__name__, node)
+
+    def _eval_constant(self, node):
+        value = node.value
+        if value is True:
+            value = 1
+        elif value is False:
+            value = 0
+        if not isinstance(value, int):
+            self._err("only integer constants are supported", node)
+        if value == 0:
+            return "zero"
+        reg = self._alloc_temp(node)
+        self.asm.li(reg, value)
+        return reg
+
+    def _dest_for(self, *operands):
+        """Pick a destination: reuse an operand temp or allocate."""
+        for reg in operands:
+            if self._is_temp(reg):
+                return reg
+        return self._alloc_temp()
+
+    def _eval_binop(self, node):
+        op_type = type(node.op)
+        if op_type not in _BINOP_OPS:
+            self._err("unsupported binary operator", node)
+        opcode = _BINOP_OPS[op_type]
+        left = self._eval(node.left)
+        # Immediate folding for the common `x op const` shape.
+        if (isinstance(node.right, ast.Constant)
+                and isinstance(node.right.value, int)
+                and opcode in IMM_FORM):
+            dest = self._dest_for(left)
+            self.asm.ri(IMM_FORM[opcode], dest, left, node.right.value)
+            if dest != left:
+                self._release(left)
+            return dest
+        right = self._eval(node.right)
+        dest = self._dest_for(left, right)
+        self.asm.rr(opcode, dest, left, right)
+        for reg in (left, right):
+            if reg != dest:
+                self._release(reg)
+        return dest
+
+    def _eval_unary(self, node):
+        if isinstance(node.op, ast.USub):
+            operand = self._eval(node.operand)
+            dest = self._dest_for(operand)
+            self.asm.rr(Op.SUB, dest, "zero", operand)
+            if dest != operand:
+                self._release(operand)
+            return dest
+        if isinstance(node.op, ast.Invert):
+            operand = self._eval(node.operand)
+            dest = self._dest_for(operand)
+            self.asm.ri(Op.XORI, dest, operand, -1)
+            if dest != operand:
+                self._release(operand)
+            return dest
+        if isinstance(node.op, ast.Not):
+            operand = self._eval(node.operand)
+            dest = self._dest_for(operand)
+            self.asm.ri(Op.SLTIU, dest, operand, 1)
+            if dest != operand:
+                self._release(operand)
+            return dest
+        if isinstance(node.op, ast.UAdd):
+            return self._eval(node.operand)
+        self._err("unsupported unary operator", node)
+
+    def _eval_compare(self, node):
+        """Comparison in value context: materialise 0/1."""
+        if len(node.ops) != 1:
+            self._err("chained comparisons not supported", node)
+        left = self._eval(node.left)
+        right = self._eval(node.comparators[0])
+        dest = self._dest_for(left, right)
+        op_type = type(node.ops[0])
+        asm = self.asm
+        if op_type is ast.Lt:
+            asm.rr(Op.SLT, dest, left, right)
+        elif op_type is ast.Gt:
+            asm.rr(Op.SLT, dest, right, left)
+        elif op_type is ast.GtE:
+            asm.rr(Op.SLT, dest, left, right)
+            asm.ri(Op.XORI, dest, dest, 1)
+        elif op_type is ast.LtE:
+            asm.rr(Op.SLT, dest, right, left)
+            asm.ri(Op.XORI, dest, dest, 1)
+        elif op_type is ast.Eq:
+            asm.rr(Op.SUB, dest, left, right)
+            asm.ri(Op.SLTIU, dest, dest, 1)
+        elif op_type is ast.NotEq:
+            asm.rr(Op.SUB, dest, left, right)
+            asm.rr(Op.SLTU, dest, "zero", dest)
+        else:
+            self._err("unsupported comparison", node)
+        for reg in (left, right):
+            if reg != dest:
+                self._release(reg)
+        return dest
+
+    def _eval_boolop(self, node):
+        """Short-circuit and/or in value context (result is 0/1)."""
+        dest = self._alloc_temp(node)
+        done = self._new_label("bool")
+        if isinstance(node.op, ast.And):
+            fail = self._new_label("boolf")
+            for value in node.values:
+                self._branch_if_false(value, fail)
+            self.asm.li(dest, 1)
+            self.asm.j(done)
+            self.asm.label(fail)
+            self.asm.li(dest, 0)
+        else:
+            ok = self._new_label("boolt")
+            for value in node.values:
+                self._branch_if_true(value, ok)
+            self.asm.li(dest, 0)
+            self.asm.j(done)
+            self.asm.label(ok)
+            self.asm.li(dest, 1)
+        self.asm.label(done)
+        return dest
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def _subscript_addr(self, node):
+        """Compute the address of ``base[index]``; returns (reg, const_off).
+
+        Elements are 64-bit words. If the index is constant the offset is
+        folded into the load/store immediate.
+        """
+        base = self._eval(node.value)
+        index = node.slice
+        if isinstance(index, ast.Constant) and isinstance(index.value, int):
+            return base, index.value * _WORD
+        idx = self._eval(index)
+        scaled = self._dest_for(idx)
+        self.asm.slli(scaled, idx, 3)
+        if scaled != idx:
+            self._release(idx)
+        addr = self._dest_for(scaled)
+        self.asm.add(addr, base, scaled)
+        if addr != scaled:
+            self._release(scaled)
+        if addr != base:
+            self._release(base)
+        return addr, 0
+
+    def _eval_subscript(self, node):
+        addr, offset = self._subscript_addr(node)
+        dest = self._dest_for(addr)
+        self.asm.ld(dest, addr, offset)
+        if dest != addr:
+            self._release(addr)
+        return dest
+
+    def _store_subscript(self, target, value_expr):
+        value = self._eval(value_expr)
+        addr, offset = self._subscript_addr(target)
+        self.asm.sd(value, addr, offset)
+        self._release(addr)
+        self._release(value)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _eval_call(self, node):
+        if not isinstance(node.func, ast.Name):
+            self._err("only direct calls are supported", node)
+        name = node.func.id
+        if name == "hash64":
+            return self._inline_hash64(node)
+        if name in ("min64", "max64"):
+            return self._inline_minmax(node)
+        if name not in self.module.function_names():
+            self._err("call to unknown function %r" % name, node)
+        return self._call_function(node, name)
+
+    def _inline_hash64(self, node):
+        if len(node.args) != 1:
+            self._err("hash64() takes one argument", node)
+        src = self._eval(node.args[0])
+        z = self._dest_for(src)
+        tmp = self._alloc_temp(node)
+        asm = self.asm
+        asm.addi(z, src, 0x9E3779B97F4A7C15)
+        if z != src:
+            self._release(src)
+        asm.srli(tmp, z, 30)
+        asm.xor(z, z, tmp)
+        asm.li(tmp, 0xBF58476D1CE4E5B9)
+        asm.mul(z, z, tmp)
+        asm.srli(tmp, z, 27)
+        asm.xor(z, z, tmp)
+        asm.li(tmp, 0x94D049BB133111EB)
+        asm.mul(z, z, tmp)
+        asm.srli(tmp, z, 31)
+        asm.xor(z, z, tmp)
+        self._release(tmp)
+        return z
+
+    def _inline_minmax(self, node):
+        if len(node.args) != 2:
+            self._err("%s() takes two arguments" % node.func.id, node)
+        opcode = Op.MIN if node.func.id == "min64" else Op.MAX
+        left = self._eval(node.args[0])
+        right = self._eval(node.args[1])
+        dest = self._dest_for(left, right)
+        self.asm.rr(opcode, dest, left, right)
+        for reg in (left, right):
+            if reg != dest:
+                self._release(reg)
+        return dest
+
+    def _call_function(self, node, name):
+        if self.is_leaf:
+            self._err("internal: call in leaf function", node)
+        if len(node.args) > _NUM_ARG_SLOTS:
+            self._err("too many call arguments", node)
+        asm = self.asm
+        # Evaluate arguments into temporaries.
+        arg_regs = []
+        for arg in node.args:
+            reg = self._eval(arg)
+            if not self._is_temp(reg):
+                # Copy s-regs so a later argument's nested call cannot
+                # observe a stale temp list (and to simplify the move).
+                copy = self._alloc_temp(node)
+                asm.mv(copy, reg)
+                reg = copy
+            arg_regs.append(reg)
+        # Move into the argument registers.
+        for i, reg in enumerate(arg_regs):
+            asm.mv(ARG_REGS[i], reg)
+        for reg in arg_regs:
+            self._release(reg)
+        # Spill any live temporaries around the call.
+        live = list(self._active_temps)
+        for reg in live:
+            slot = CALLER_SAVED_TEMPS.index(reg)
+            asm.sd(reg, "sp", self.temp_save_base + _WORD * slot)
+        asm.call(function_label(name))
+        for reg in live:
+            slot = CALLER_SAVED_TEMPS.index(reg)
+            asm.ld(reg, "sp", self.temp_save_base + _WORD * slot)
+        dest = self._alloc_temp(node)
+        asm.mv(dest, "a0")
+        return dest

@@ -1,0 +1,15 @@
+"""Compiler error type."""
+
+
+class CompileError(Exception):
+    """Raised when a kernel uses Python constructs outside the subset."""
+
+    def __init__(self, message, node=None, function=None):
+        location = ""
+        if function:
+            location += " in %s()" % function
+        if node is not None and hasattr(node, "lineno"):
+            location += " at line %d" % node.lineno
+        super().__init__(message + location)
+        self.node = node
+        self.function = function

@@ -1,0 +1,37 @@
+"""Compiler intrinsics.
+
+These functions are recognised *by name* inside kernels and expanded
+inline by the code generator; the Python definitions below give them
+identical semantics for native (oracle) execution. They return
+:class:`~repro.compiler.runtime.I64` so that follow-on Python arithmetic
+keeps ISA semantics (wrapping, truncating division).
+"""
+
+from repro.utils.bits import to_unsigned
+from repro.utils.rng import mix_hash
+from repro.compiler.runtime import I64
+
+#: Names the code generator expands inline.
+INTRINSIC_NAMES = ("hash64", "min64", "max64")
+
+
+def hash64(value):
+    """Stateless 64-bit mixing hash (splitmix64 finalizer).
+
+    This is the ``hash`` function from Listing 1 of the paper: its output
+    is effectively random in every bit, so branching on it produces
+    hard-to-predict branches.
+    """
+    return I64(mix_hash(to_unsigned(int(value))))
+
+
+def min64(a, b):
+    """Signed minimum (compiles to a single MIN instruction)."""
+    a, b = I64(a), I64(b)
+    return a if int(a) <= int(b) else b
+
+
+def max64(a, b):
+    """Signed maximum (compiles to a single MAX instruction)."""
+    a, b = I64(a), I64(b)
+    return a if int(a) >= int(b) else b

@@ -1,0 +1,170 @@
+"""Compilation unit: functions + static arrays -> executable Program."""
+
+import ast
+import inspect
+import textwrap
+
+from repro.compiler.codegen import FunctionCompiler, function_label
+from repro.compiler.errors import CompileError
+from repro.compiler.runtime import native_call
+from repro.isa.assembler import Assembler
+from repro.isa.program import DataSegment
+
+
+class ArrayRef:
+    """Symbolic reference to a module array, usable as a build argument."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return "array_ref(%r)" % self.name
+
+
+def array_ref(name):
+    """Reference a module array by name in :meth:`Module.build` args."""
+    return ArrayRef(name)
+
+
+def _parse_function(pyfunc):
+    source = textwrap.dedent(inspect.getsource(pyfunc))
+    tree = ast.parse(source)
+    func_def = tree.body[0]
+    if not isinstance(func_def, ast.FunctionDef):
+        raise CompileError("expected a function definition",
+                           function=getattr(pyfunc, "__name__", "?"))
+    return func_def
+
+
+class Module:
+    """A set of kernels plus static data, compiled together.
+
+    Typical use::
+
+        mod = Module()
+        mod.add_function(my_kernel)           # a restricted-Python function
+        mod.array("data", [1, 2, 3])
+        prog = mod.build("my_kernel", [array_ref("data"), 3])
+        # ... simulate prog ...
+        expected, _ = mod.run_native()        # Python oracle
+    """
+
+    RESULT_SYMBOL = "$result"
+
+    def __init__(self):
+        self._functions = {}   # name -> (ast.FunctionDef, pyfunc)
+        self._arrays = {}      # name -> list of initial values
+        self._build_args = None
+        self._main = None
+
+    # ------------------------------------------------------------------
+    def add_function(self, pyfunc):
+        """Register a kernel (and return it, so it can be used as a decorator)."""
+        func_def = _parse_function(pyfunc)
+        name = func_def.name
+        if name in self._functions:
+            raise CompileError("duplicate function %r" % name)
+        self._functions[name] = (func_def, pyfunc)
+        return pyfunc
+
+    def add_functions(self, *pyfuncs):
+        for pyfunc in pyfuncs:
+            self.add_function(pyfunc)
+
+    def array(self, name, values_or_size):
+        """Declare a static array (list of initial values, or a zero size)."""
+        if name in self._arrays:
+            raise CompileError("duplicate array %r" % name)
+        if isinstance(values_or_size, int):
+            values = [0] * values_or_size
+        else:
+            values = [int(v) for v in values_or_size]
+        self._arrays[name] = values
+        return ArrayRef(name)
+
+    def function_names(self):
+        return self._functions.keys()
+
+    # ------------------------------------------------------------------
+    def build(self, main, args=(), code_base=None):
+        """Compile everything; returns a :class:`~repro.isa.program.Program`.
+
+        ``args`` are the arguments passed to ``main`` at startup: plain
+        ints or :class:`ArrayRef`. The return value of ``main`` is stored
+        to the ``$result`` data word before ``halt``.
+        """
+        if main not in self._functions:
+            raise CompileError("unknown main function %r" % main)
+        self._main = main
+        self._build_args = list(args)
+        if len(args) > 8:
+            raise CompileError("too many main() arguments")
+
+        data = DataSegment()
+        for name, values in self._arrays.items():
+            data.word_array(name, values)
+        data.word(self.RESULT_SYMBOL, 0)
+
+        kwargs = {"data": data}
+        if code_base is not None:
+            kwargs["code_base"] = code_base
+        asm = Assembler(**kwargs)
+
+        # _start: marshal arguments, call main, store result, halt.
+        for i, arg in enumerate(self._build_args):
+            if isinstance(arg, ArrayRef):
+                if arg.name not in self._arrays:
+                    raise CompileError("unknown array %r" % arg.name)
+                asm.li("a%d" % i, data.addr_of(arg.name))
+            else:
+                asm.li("a%d" % i, int(arg))
+        asm.call(function_label(main))
+        asm.li("t0", data.addr_of(self.RESULT_SYMBOL))
+        asm.sd("a0", "t0", 0)
+        asm.halt()
+
+        for name, (func_def, _pyfunc) in self._functions.items():
+            FunctionCompiler(self, func_def, asm).compile()
+        return asm.finish()
+
+    # ------------------------------------------------------------------
+    def run_native(self):
+        """Run ``main`` natively under ISA integer semantics (the oracle).
+
+        Returns ``(result, arrays)`` where ``arrays`` maps each array name
+        passed to main to its final contents. Arrays not passed to main
+        are returned with their initial contents.
+        """
+        if self._main is None:
+            raise CompileError("build() must be called before run_native()")
+        _func_def, pyfunc = self._functions[self._main]
+        native_args = []
+        array_names = []
+        for arg in self._build_args:
+            if isinstance(arg, ArrayRef):
+                native_args.append(list(self._arrays[arg.name]))
+                array_names.append(arg.name)
+            else:
+                native_args.append(int(arg))
+                array_names.append(None)
+        result, mutated = native_call(pyfunc, *native_args)
+        final_arrays = {name: list(values)
+                        for name, values in self._arrays.items()}
+        for i, name in enumerate(array_names):
+            if name is not None:
+                final_arrays[name] = [int(v) for v in mutated[i]]
+        return result, final_arrays
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def read_result(program, memory):
+        """Read back the stored main() result from simulated memory."""
+        return memory.read(program.data.addr_of(Module.RESULT_SYMBOL), 8)
+
+    @staticmethod
+    def read_array(program, memory, name, length):
+        """Read an array's final contents from simulated memory."""
+        base = program.data.addr_of(name)
+        return memory.read_word_array(base, length)

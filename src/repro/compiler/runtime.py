@@ -1,0 +1,190 @@
+"""Native-execution semantics matching the ISA.
+
+Compiled code computes on wrapping 64-bit two's-complement integers with
+truncating division. To let the *same* kernel source serve as its own
+oracle, :class:`I64` reimplements Python's arithmetic operators with those
+semantics, and :func:`native_call` invokes a kernel with all integer
+arguments wrapped.
+"""
+
+from repro.utils.bits import (
+    to_signed,
+    to_unsigned,
+    div_trunc,
+    rem_trunc,
+    sll64,
+    sra64,
+)
+
+
+class I64(int):
+    """Signed 64-bit wrapping integer.
+
+    Instances always hold the *signed* canonical value. All binary
+    operators wrap; ``//`` and ``%`` truncate toward zero (RISC-V DIV/REM);
+    ``>>`` is arithmetic; ``<<`` wraps.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, value):
+        return super().__new__(cls, to_signed(to_unsigned(int(value))))
+
+    # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _wrap(value):
+        return I64(value)
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other):
+        return self._wrap(int(self) + int(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._wrap(int(self) - int(other))
+
+    def __rsub__(self, other):
+        return self._wrap(int(other) - int(self))
+
+    def __mul__(self, other):
+        return self._wrap(int(self) * int(other))
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other):
+        return self._wrap(to_signed(div_trunc(to_unsigned(int(self)),
+                                              to_unsigned(int(other)))))
+
+    def __rfloordiv__(self, other):
+        return I64(other).__floordiv__(self)
+
+    def __mod__(self, other):
+        return self._wrap(to_signed(rem_trunc(to_unsigned(int(self)),
+                                              to_unsigned(int(other)))))
+
+    def __rmod__(self, other):
+        return I64(other).__mod__(self)
+
+    def __neg__(self):
+        return self._wrap(-int(self))
+
+    def __invert__(self):
+        return self._wrap(~int(self))
+
+    # -- bitwise --------------------------------------------------------
+    def __and__(self, other):
+        return self._wrap(to_unsigned(int(self)) & to_unsigned(int(other)))
+
+    __rand__ = __and__
+
+    def __or__(self, other):
+        return self._wrap(to_unsigned(int(self)) | to_unsigned(int(other)))
+
+    __ror__ = __or__
+
+    def __xor__(self, other):
+        return self._wrap(to_unsigned(int(self)) ^ to_unsigned(int(other)))
+
+    __rxor__ = __xor__
+
+    def __lshift__(self, other):
+        return self._wrap(sll64(to_unsigned(int(self)), int(other)))
+
+    def __rshift__(self, other):
+        return self._wrap(sra64(to_unsigned(int(self)), int(other)))
+
+    def __rlshift__(self, other):
+        return I64(other).__lshift__(self)
+
+    def __rrshift__(self, other):
+        return I64(other).__rshift__(self)
+
+
+class I64Array(list):
+    """List whose element reads return :class:`I64` values.
+
+    Adding a byte offset yields an :class:`ArrayView`, mirroring the
+    compiled semantics where arrays are base addresses and ``base + k*8``
+    addresses element ``k`` (kernels use this to carve scratch planes out
+    of one allocation).
+    """
+
+    def __getitem__(self, index):
+        if int(index) < 0:
+            raise IndexError(
+                "negative array index %d: compiled code would address "
+                "memory before the array (mask/clamp the index)"
+                % int(index))
+        return I64(list.__getitem__(self, int(index)))
+
+    def __setitem__(self, index, value):
+        if int(index) < 0:
+            raise IndexError(
+                "negative array index %d: compiled code would address "
+                "memory before the array (mask/clamp the index)"
+                % int(index))
+        list.__setitem__(self, int(index), I64(value))
+
+    def __add__(self, byte_offset):
+        return ArrayView(self, int(byte_offset))
+
+    def __radd__(self, byte_offset):
+        return ArrayView(self, int(byte_offset))
+
+
+class ArrayView:
+    """Byte-offset view over an :class:`I64Array` (native pointer math)."""
+
+    __slots__ = ("base", "byte_offset")
+
+    def __init__(self, base, byte_offset):
+        if byte_offset % 8:
+            raise ValueError("array views must be 8-byte aligned")
+        if isinstance(base, ArrayView):
+            byte_offset += base.byte_offset
+            base = base.base
+        self.base = base
+        self.byte_offset = byte_offset
+
+    def _index(self, index):
+        resolved = self.byte_offset // 8 + int(index)
+        if resolved < 0:
+            raise IndexError("negative effective array index %d" % resolved)
+        return resolved
+
+    def __getitem__(self, index):
+        return I64(list.__getitem__(self.base, self._index(index)))
+
+    def __setitem__(self, index, value):
+        list.__setitem__(self.base, self._index(index), I64(value))
+
+    def __add__(self, byte_offset):
+        return ArrayView(self, int(byte_offset))
+
+
+def native_call(func, *args):
+    """Call ``func`` natively with ISA integer semantics.
+
+    Integer args are wrapped in :class:`I64`; list args are converted to
+    :class:`I64Array` *in place semantics* (a new array is created; mutated
+    contents can be read back from the returned ``arrays`` mapping by
+    positional index).
+
+    Returns ``(result, arrays)`` where ``arrays[i]`` is the (possibly
+    mutated) array passed at positional index ``i`` (or None for ints).
+    """
+    call_args = []
+    arrays = {}
+    for i, arg in enumerate(args):
+        if isinstance(arg, list):
+            arr = I64Array(I64(v) for v in arg)
+            arrays[i] = arr
+            call_args.append(arr)
+        else:
+            call_args.append(I64(arg))
+            arrays[i] = None
+    result = func(*call_args)
+    if result is None:
+        result = 0
+    return int(I64(result)), arrays

@@ -1,0 +1,6 @@
+"""Functional (golden-model) execution: sparse memory and an emulator."""
+
+from repro.emu.memory import SparseMemory
+from repro.emu.emulator import Emulator, EmulationError, EmulationResult
+
+__all__ = ["SparseMemory", "Emulator", "EmulationError", "EmulationResult"]

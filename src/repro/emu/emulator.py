@@ -1,0 +1,149 @@
+"""Functional instruction-set emulator.
+
+This is the golden model: the out-of-order core (with or without squash
+reuse) must produce exactly the same final architectural registers and
+memory for every program. It can also record the committed dynamic trace,
+which the analysis tools use for branch statistics.
+"""
+
+from repro.isa.instruction import INST_BYTES
+from repro.isa.opcodes import Op, OpClass
+from repro.isa.program import STACK_TOP
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.emu.memory import SparseMemory
+from repro.utils.bits import MASK64, wrap64, to_unsigned
+
+
+class EmulationError(Exception):
+    """Raised when execution leaves the program or exceeds its budget."""
+
+
+class EmulationResult:
+    """Final state and summary statistics of a functional run."""
+
+    def __init__(self, regs, memory, inst_count, halted, pc):
+        self.regs = regs
+        self.memory = memory
+        self.inst_count = inst_count
+        self.halted = halted
+        self.pc = pc
+
+    def reg(self, name_or_num):
+        from repro.isa.registers import reg_num
+        return self.regs[reg_num(name_or_num)]
+
+
+def _sext32(value):
+    value &= 0xFFFFFFFF
+    if value & 0x80000000:
+        value |= ~0xFFFFFFFF & MASK64
+    return value
+
+
+class Emulator:
+    """Sequential interpreter over a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self, program, init_regs=None, sp=STACK_TOP):
+        self.program = program
+        self.memory = SparseMemory(program.initial_memory())
+        self.regs = [0] * NUM_ARCH_REGS
+        if init_regs:
+            for idx, value in init_regs.items():
+                self.regs[idx] = to_unsigned(value)
+        self.regs[2] = sp  # stack pointer
+        self.pc = program.entry
+        self.inst_count = 0
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    def step(self):
+        """Execute one instruction; returns the executed Instruction."""
+        if self.halted:
+            raise EmulationError("program already halted")
+        if not self.program.has_pc(self.pc):
+            raise EmulationError("pc %#x leaves the program" % self.pc)
+        inst = self.program.inst_at(self.pc)
+        self._execute(inst)
+        self.inst_count += 1
+        return inst
+
+    def _execute(self, inst):
+        regs = self.regs
+        info = inst.info
+        op_class = info.op_class
+        next_pc = inst.pc + INST_BYTES
+        if op_class is OpClass.BRANCH:
+            if inst.op is Op.JAL:
+                if inst.writes_reg:
+                    regs[inst.dest] = next_pc
+                next_pc = inst.imm
+            elif inst.op is Op.JALR:
+                target = wrap64(regs[inst.srcs[0]] + inst.imm) & ~1
+                if inst.writes_reg:
+                    regs[inst.dest] = inst.pc + INST_BYTES
+                next_pc = target
+            else:
+                taken = info.branch_fn(regs[inst.srcs[0]], regs[inst.srcs[1]])
+                if taken:
+                    next_pc = inst.imm
+        elif op_class is OpClass.LOAD:
+            addr = wrap64(regs[inst.srcs[0]] + inst.imm)
+            value = self.memory.read(addr, info.mem_size)
+            if inst.op is Op.LW:
+                value = _sext32(value)
+            if inst.writes_reg:
+                regs[inst.dest] = value
+        elif op_class is OpClass.STORE:
+            addr = wrap64(regs[inst.srcs[1]] + inst.imm)
+            self.memory.write(addr, regs[inst.srcs[0]], info.mem_size)
+        elif op_class is OpClass.HALT:
+            self.halted = True
+        elif op_class is OpClass.NOP:
+            pass
+        else:  # ALU / MUL / DIV
+            if info.has_imm:
+                a = regs[inst.srcs[0]] if info.num_srcs else 0
+                result = (info.alu_fn(a, to_unsigned(inst.imm))
+                          if info.num_srcs else to_unsigned(inst.imm))
+            else:
+                result = info.alu_fn(regs[inst.srcs[0]], regs[inst.srcs[1]])
+            if inst.writes_reg:
+                regs[inst.dest] = result
+        regs[0] = 0
+        self.pc = next_pc
+
+    # ------------------------------------------------------------------
+    def run(self, max_insts=50_000_000):
+        """Run to ``halt``; returns an :class:`EmulationResult`."""
+        while not self.halted:
+            if self.inst_count >= max_insts:
+                raise EmulationError(
+                    "instruction budget exhausted (%d)" % max_insts)
+            self.step()
+        return EmulationResult(list(self.regs), self.memory,
+                               self.inst_count, self.halted, self.pc)
+
+    def run_trace(self, max_insts=50_000_000):
+        """Run to ``halt`` recording (pc, taken) for every control inst.
+
+        Used by branch-predictor characterisation tests; the full dynamic
+        trace would be too large to keep for big runs.
+        """
+        trace = []
+        while not self.halted:
+            if self.inst_count >= max_insts:
+                raise EmulationError(
+                    "instruction budget exhausted (%d)" % max_insts)
+            pc_before = self.pc
+            inst = self.step()
+            if inst.is_branch:
+                taken = self.pc != pc_before + INST_BYTES
+                trace.append((pc_before, taken, self.pc))
+        result = EmulationResult(list(self.regs), self.memory,
+                                 self.inst_count, self.halted, self.pc)
+        return result, trace
+
+
+def run_program(program, max_insts=50_000_000, init_regs=None):
+    """Convenience wrapper: emulate ``program`` to completion."""
+    return Emulator(program, init_regs=init_regs).run(max_insts=max_insts)

@@ -1,0 +1,30 @@
+"""Instruction fetch frontend: branch predictors and block-based fetch."""
+
+from repro.frontend.predictors import (
+    BranchPredictor,
+    BimodalPredictor,
+    GSharePredictor,
+    build_predictor,
+)
+from repro.frontend.tage import TagePredictor
+from repro.frontend.tage_scl import TageSCL
+from repro.frontend.loop_predictor import LoopPredictor
+from repro.frontend.statistical_corrector import StatisticalCorrector
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.ras import ReturnAddressStack
+from repro.frontend.fetch import FetchUnit, PredictionBlock
+
+__all__ = [
+    "BranchPredictor",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "TagePredictor",
+    "TageSCL",
+    "LoopPredictor",
+    "StatisticalCorrector",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "FetchUnit",
+    "PredictionBlock",
+    "build_predictor",
+]

@@ -1,0 +1,58 @@
+"""Branch Target Buffer: set-associative, LRU, tagged by full PC.
+
+Used by the fetch unit to predict *indirect* jump targets. Direct
+branches and jumps do not need it: the fetch unit can see the decoded
+program image, which models a frontend with perfect pre-decode (a common
+simulator idealisation; direction prediction is still fully speculative).
+"""
+
+
+class _BTBEntry:
+    __slots__ = ("pc", "target", "lru")
+
+    def __init__(self):
+        self.pc = -1
+        self.target = 0
+        self.lru = 0
+
+
+class BranchTargetBuffer:
+    """PC -> predicted target cache."""
+
+    def __init__(self, num_sets=512, assoc=4):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.sets = [[_BTBEntry() for _ in range(assoc)]
+                     for _ in range(num_sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _set(self, pc):
+        return self.sets[(pc >> 2) % self.num_sets]
+
+    def lookup(self, pc):
+        """Predicted target for ``pc`` or None on miss."""
+        self._tick += 1
+        for entry in self._set(pc):
+            if entry.pc == pc:
+                entry.lru = self._tick
+                self.hits += 1
+                return entry.target
+        self.misses += 1
+        return None
+
+    def install(self, pc, target):
+        """Record a resolved target (called at branch commit)."""
+        self._tick += 1
+        ways = self._set(pc)
+        victim = None
+        for entry in ways:
+            if entry.pc == pc:
+                victim = entry
+                break
+        if victim is None:
+            victim = min(ways, key=lambda e: e.lru)
+        victim.pc = pc
+        victim.target = target
+        victim.lru = self._tick

@@ -1,0 +1,194 @@
+"""Block-based instruction fetch unit with a Fetch Target Queue.
+
+The fetch unit predicts the dynamic instruction stream at *prediction
+block* granularity (Section 3.3.1 of the paper): a block is a contiguous
+run of instructions that ends at a predicted-taken control instruction or
+at the fetch-width limit (32B = 8 instructions). Blocks are recorded in
+the FTQ; on a branch misprediction the squashed FTQ suffix is what Multi-
+Stream Squash Reuse moves into its Wrong-Path Buffers.
+
+After a misprediction the fetch unit keeps following the *predicted* path
+through real program code — wrong-path execution is what creates the
+squashed streams that reuse later harvests.
+"""
+
+from repro.isa.instruction import INST_BYTES
+from repro.pipeline.dyninst import DynInst
+
+#: Register holding return addresses (``ra``).
+_RA = 1
+
+
+class PredictionBlock:
+    """One FTQ entry: a contiguous fetch block."""
+
+    __slots__ = ("block_id", "start_pc", "end_pc", "insts", "pred_next_pc",
+                 "squashed")
+
+    def __init__(self, block_id, start_pc):
+        self.block_id = block_id
+        self.start_pc = start_pc
+        self.end_pc = start_pc
+        self.insts = []
+        self.pred_next_pc = None
+        self.squashed = False
+
+    @property
+    def num_insts(self):
+        return len(self.insts)
+
+    def pc_range(self):
+        """(start_pc, end_pc) inclusive of the last instruction."""
+        return self.start_pc, self.end_pc
+
+    def __repr__(self):
+        return "<Block %d [%#x..%#x] %d insts>" % (
+            self.block_id, self.start_pc, self.end_pc, self.num_insts)
+
+
+class FetchUnit:
+    """Speculative fetch: directions from the predictor, targets from
+    pre-decode (direct), BTB (indirect) and RAS (returns)."""
+
+    def __init__(self, program, predictor, btb, ras, block_insts=8):
+        self.program = program
+        self.predictor = predictor
+        self.btb = btb
+        self.ras = ras
+        self.block_insts = block_insts
+
+        self.pc = program.entry
+        self.stalled = False          # waiting for redirect (halt/invalid/
+                                      # unpredicted indirect)
+        self._next_block_id = 0
+        self._next_seq = 0
+
+        self.ftq = []                 # in-flight blocks, oldest first
+        self.stats_blocks = 0
+        self.stats_insts = 0
+
+    # ------------------------------------------------------------------
+    def redirect(self, pc):
+        """Steer fetch (misprediction recovery or indirect resolution)."""
+        self.pc = pc
+        self.stalled = not self.program.has_pc(pc)
+
+    def squash_ftq_after(self, block_id, keep_partial_seq=None):
+        """Drop FTQ blocks younger than ``block_id``.
+
+        Returns the squashed blocks (oldest first). ``keep_partial_seq``
+        trims instructions younger than the given seq from the boundary
+        block without squashing the whole block.
+        """
+        squashed = []
+        kept = []
+        for block in self.ftq:
+            if block.block_id > block_id:
+                block.squashed = True
+                squashed.append(block)
+            else:
+                kept.append(block)
+        self.ftq = kept
+        if keep_partial_seq is not None and kept:
+            boundary = kept[-1]
+            trimmed = [d for d in boundary.insts
+                       if d.seq <= keep_partial_seq]
+            removed = boundary.insts[len(trimmed):]
+            if removed:
+                partial = PredictionBlock(boundary.block_id, removed[0].pc)
+                partial.insts = removed
+                partial.end_pc = removed[-1].pc
+                partial.squashed = True
+                boundary.insts = trimmed
+                if trimmed:
+                    boundary.end_pc = trimmed[-1].pc
+                squashed.insert(0, partial)
+        return squashed
+
+    def retire_block(self, block_id):
+        """Deallocate FTQ entries at or before ``block_id`` (all retired)."""
+        self.ftq = [b for b in self.ftq if b.block_id > block_id]
+
+    # ------------------------------------------------------------------
+    def fetch_block(self, cycle):
+        """Fetch one prediction block; returns it or None when stalled."""
+        if self.stalled or not self.program.has_pc(self.pc):
+            self.stalled = True
+            return None
+        block = PredictionBlock(self._next_block_id, self.pc)
+        self._next_block_id += 1
+        pc = self.pc
+        next_pc = None     # predicted PC after this block (None => stall)
+        ended = False      # loop terminated by a control decision
+        while len(block.insts) < self.block_insts:
+            if not self.program.has_pc(pc):
+                # Ran off the code image mid-block (wrong path): stall.
+                ended = True
+                break
+            inst = self.program.inst_at(pc)
+            dyn = DynInst(self._next_seq, pc, inst, block.block_id, cycle)
+            self._next_seq += 1
+            block.insts.append(dyn)
+            block.end_pc = pc
+
+            if inst.is_halt:
+                ended = True  # nothing sensible follows a halt
+                break
+            if inst.is_branch:
+                taken, target = self._predict_control(dyn)
+                if taken:
+                    next_pc = target  # None for unpredictable indirects
+                    ended = True
+                    break
+            pc += INST_BYTES
+        if not ended:
+            # Block filled to the fetch limit: fall through.
+            next_pc = pc
+        block.pred_next_pc = next_pc
+
+        if next_pc is None:
+            self.stalled = True
+        else:
+            self.pc = next_pc
+            self.stalled = not self.program.has_pc(next_pc)
+
+        self.ftq.append(block)
+        self.stats_blocks += 1
+        self.stats_insts += block.num_insts
+        return block
+
+    def _predict_control(self, dyn):
+        """Predict one control instruction; returns (taken, target).
+
+        Also fills the DynInst's prediction bookkeeping fields.
+        """
+        inst = dyn.inst
+        fallthrough = inst.pc + INST_BYTES
+        if inst.is_cond_branch:
+            taken, meta = self.predictor.predict(inst.pc)
+            dyn.bp_meta = meta
+            target = inst.imm if taken else fallthrough
+            dyn.pred_npc = target
+            return taken, target
+
+        # Unconditional: jal / jalr.
+        dyn.ras_snap = self.ras.snapshot()
+        if not inst.is_indirect:  # jal
+            if inst.dest == _RA:
+                self.ras.push(fallthrough)
+            dyn.pred_npc = inst.imm
+            return True, inst.imm
+
+        # jalr: return or other indirect.
+        target = None
+        if inst.srcs and inst.srcs[0] == _RA and inst.dest != _RA:
+            target = self.ras.pop()
+        if target is None:
+            target = self.btb.lookup(inst.pc)
+        if inst.dest == _RA:
+            self.ras.push(fallthrough)
+        dyn.pred_npc = target
+        if target is None:
+            # Unpredictable indirect: stall until it resolves.
+            return True, None
+        return True, target

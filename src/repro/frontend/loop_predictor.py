@@ -1,0 +1,87 @@
+"""Loop termination predictor (the L in TAGE-SC-L, simplified).
+
+Tracks, per branch PC, the trip count of loop-closing branches. Once the
+same trip count has been observed several times in a row (high
+confidence), the predictor can override the main predictor on the final,
+otherwise-mispredicted exit iteration.
+
+Speculative iteration counts are maintained at predict time and repaired
+on misprediction recovery; the architectural trip statistics are only
+trained at commit.
+"""
+
+
+class _LoopEntry:
+    __slots__ = ("tag", "trip", "commit_count", "spec_count", "confidence")
+
+    def __init__(self):
+        self.tag = -1
+        self.trip = 0
+        self.commit_count = 0
+        self.spec_count = 0
+        self.confidence = 0
+
+
+class LoopPredictor:
+    """Confident-trip-count loop predictor."""
+
+    CONFIDENT = 3
+
+    def __init__(self, num_entries=128, max_trip=1 << 14):
+        self.num_entries = num_entries
+        self.max_trip = max_trip
+        self.entries = [_LoopEntry() for _ in range(num_entries)]
+
+    def _entry(self, pc):
+        entry = self.entries[(pc >> 2) % self.num_entries]
+        return entry if entry.tag == pc else None
+
+    # ------------------------------------------------------------------
+    def predict(self, pc):
+        """Return (valid, taken) and advance the speculative count."""
+        entry = self._entry(pc)
+        if entry is None or entry.confidence < self.CONFIDENT:
+            return False, False
+        taken = entry.spec_count + 1 < entry.trip
+        if taken:
+            entry.spec_count += 1
+        else:
+            entry.spec_count = 0
+        return True, taken
+
+    def recover(self, pc):
+        """Repair the speculative count after a squash involving ``pc``."""
+        entry = self._entry(pc)
+        if entry is not None:
+            entry.spec_count = entry.commit_count
+
+    def update(self, pc, taken):
+        """Train with a committed outcome of the branch at ``pc``."""
+        idx = (pc >> 2) % self.num_entries
+        entry = self.entries[idx]
+        if entry.tag != pc:
+            # Allocate only when losing entries are stale (no confidence).
+            if entry.confidence == 0:
+                entry.tag = pc
+                entry.trip = 0
+                entry.commit_count = 0
+                entry.spec_count = 0
+                entry.confidence = 0
+            else:
+                entry.confidence -= 1
+                return
+        if taken:
+            entry.commit_count += 1
+            if entry.commit_count >= self.max_trip:
+                # Not a countable loop; poison the entry.
+                entry.tag = -1
+                entry.confidence = 0
+        else:
+            observed = entry.commit_count + 1
+            if observed == entry.trip:
+                entry.confidence = min(entry.confidence + 1, 7)
+            else:
+                entry.trip = observed
+                entry.confidence = 0
+            entry.commit_count = 0
+            entry.spec_count = 0

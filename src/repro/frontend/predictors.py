@@ -1,0 +1,155 @@
+"""Direction predictor interface plus the bimodal and gshare predictors.
+
+All predictors share one contract:
+
+* :meth:`predict` returns ``(taken, meta)`` and *speculatively* pushes the
+  prediction into the global history, so back-to-back in-flight branches
+  see each other's (predicted) outcomes — as real frontends do.
+* ``meta`` is opaque state captured at prediction time; the core hands it
+  back to :meth:`update` when the branch *commits* (training) and to
+  :meth:`recover` when the branch turns out mispredicted (history repair:
+  the pre-prediction history is restored and the actual outcome pushed).
+"""
+
+
+class PredictorMeta:
+    """Prediction-time snapshot carried with each in-flight branch."""
+
+    __slots__ = ("history", "pred_taken", "extra")
+
+    def __init__(self, history, pred_taken, extra=None):
+        self.history = history
+        self.pred_taken = pred_taken
+        self.extra = extra
+
+
+class BranchPredictor:
+    """Abstract conditional-branch direction predictor."""
+
+    name = "abstract"
+
+    def __init__(self):
+        # Global history as an unbounded int bit-vector; bit0 is the most
+        # recent outcome. Subclasses that don't use history ignore it.
+        self.history = 0
+
+    # -- history helpers -------------------------------------------------
+    def _push_history(self, taken):
+        self.history = ((self.history << 1) | (1 if taken else 0))
+
+    def snapshot_history(self):
+        return self.history
+
+    def restore_history(self, history):
+        self.history = history
+
+    # -- main interface ---------------------------------------------------
+    def predict(self, pc):
+        """Predict direction for the branch at ``pc``.
+
+        Returns ``(taken, meta)`` and speculatively updates history.
+        """
+        taken, extra = self._lookup(pc)
+        meta = PredictorMeta(self.history, taken, extra)
+        self._push_history(taken)
+        return taken, meta
+
+    def update(self, pc, taken, meta):
+        """Train with the committed outcome."""
+        raise NotImplementedError
+
+    def recover(self, taken, meta):
+        """Repair speculative history after a misprediction of this branch."""
+        self.history = meta.history
+        self._push_history(taken)
+
+    def _lookup(self, pc):
+        """Return (taken, extra) without touching history."""
+        raise NotImplementedError
+
+
+def _counter_update(counter, taken, max_value):
+    if taken:
+        return min(counter + 1, max_value)
+    return max(counter - 1, 0)
+
+
+class BimodalPredictor(BranchPredictor):
+    """Classic per-PC 2-bit saturating counter table."""
+
+    name = "bimodal"
+
+    def __init__(self, num_entries=4096, counter_bits=2):
+        super().__init__()
+        self.num_entries = num_entries
+        self.max_counter = (1 << counter_bits) - 1
+        self.threshold = 1 << (counter_bits - 1)
+        self.table = [self.threshold] * num_entries
+
+    def _index(self, pc):
+        return (pc >> 2) % self.num_entries
+
+    def _lookup(self, pc):
+        return self.table[self._index(pc)] >= self.threshold, None
+
+    def update(self, pc, taken, meta):
+        idx = self._index(pc)
+        self.table[idx] = _counter_update(self.table[idx], taken,
+                                          self.max_counter)
+
+
+class GSharePredictor(BranchPredictor):
+    """Two-level predictor hashing PC with global history."""
+
+    name = "gshare"
+
+    def __init__(self, num_entries=16384, history_bits=12, counter_bits=2):
+        super().__init__()
+        self.num_entries = num_entries
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.max_counter = (1 << counter_bits) - 1
+        self.threshold = 1 << (counter_bits - 1)
+        self.table = [self.threshold] * num_entries
+
+    def _index(self, pc, history):
+        return ((pc >> 2) ^ (history & self.history_mask)) % self.num_entries
+
+    def _lookup(self, pc):
+        return (self.table[self._index(pc, self.history)] >= self.threshold,
+                None)
+
+    def update(self, pc, taken, meta):
+        # Index with the history *at prediction time* (stored in meta).
+        idx = self._index(pc, meta.history)
+        self.table[idx] = _counter_update(self.table[idx], taken,
+                                          self.max_counter)
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Degenerate predictor for unit tests."""
+
+    name = "always-taken"
+
+    def _lookup(self, pc):
+        return True, None
+
+    def update(self, pc, taken, meta):
+        pass
+
+
+def build_predictor(kind, **kwargs):
+    """Factory used by the core config (``bimodal``/``gshare``/``tage-scl``)."""
+    from repro.frontend.tage import TagePredictor
+    from repro.frontend.tage_scl import TageSCL
+
+    builders = {
+        "bimodal": BimodalPredictor,
+        "gshare": GSharePredictor,
+        "tage": TagePredictor,
+        "tage-scl": TageSCL,
+        "always-taken": AlwaysTakenPredictor,
+    }
+    if kind not in builders:
+        raise ValueError("unknown predictor kind %r" % kind)
+    return builders[kind](**kwargs)

@@ -1,0 +1,49 @@
+"""Return Address Stack with checkpoint-based misprediction repair.
+
+The fetch unit pushes on calls (``jal``/``jalr`` writing ``ra``) and pops
+on returns (``jalr`` through ``ra``). Because pushes/pops happen
+speculatively at fetch, each in-flight control instruction captures a
+snapshot (top-of-stack index plus the would-be-clobbered entry), restored
+on squash — the standard low-cost RAS repair scheme.
+"""
+
+
+class RasSnapshot:
+    __slots__ = ("top", "saved_value")
+
+    def __init__(self, top, saved_value):
+        self.top = top
+        self.saved_value = saved_value
+
+
+class ReturnAddressStack:
+    """Circular return-address stack."""
+
+    def __init__(self, depth=32):
+        self.depth = depth
+        self.stack = [0] * depth
+        self.top = 0  # index of the next free slot
+
+    def snapshot(self):
+        """Capture repair state *before* this instruction's push/pop."""
+        return RasSnapshot(self.top, self.stack[self.top % self.depth])
+
+    def restore(self, snap):
+        self.top = snap.top
+        self.stack[snap.top % self.depth] = snap.saved_value
+
+    def push(self, return_pc):
+        self.stack[self.top % self.depth] = return_pc
+        self.top += 1
+
+    def pop(self):
+        """Predicted return target (0 when empty — caller treats as miss)."""
+        if self.top == 0:
+            return None
+        self.top -= 1
+        return self.stack[self.top % self.depth]
+
+    def peek(self):
+        if self.top == 0:
+            return None
+        return self.stack[(self.top - 1) % self.depth]

@@ -1,0 +1,54 @@
+"""Statistical corrector (the SC in TAGE-SC-L, simplified GEHL flavour).
+
+A small set of perceptron-like tables vote on whether to *invert* the
+TAGE prediction. Each table holds signed counters indexed by PC hashed
+with a different history length; the signed sum (with the TAGE prediction
+as a bias term) overrides TAGE when it is both confident and disagrees.
+"""
+
+from repro.frontend.tage import _fold
+
+
+class StatisticalCorrector:
+    """GEHL-style corrector over the global history."""
+
+    def __init__(self, num_tables=3, table_entries=1024,
+                 hist_lengths=(0, 8, 21), counter_max=31, threshold=6):
+        if len(hist_lengths) != num_tables:
+            raise ValueError("need one history length per table")
+        self.num_tables = num_tables
+        self.table_entries = table_entries
+        self.hist_lengths = hist_lengths
+        self.counter_max = counter_max
+        self.tables = [[0] * table_entries for _ in range(num_tables)]
+        self.threshold = threshold
+
+    def _index(self, pc, table, history):
+        folded = _fold(history, self.hist_lengths[table], 10)
+        return ((pc >> 2) ^ folded ^ (table * 0x9E5)) % self.table_entries
+
+    def _sum(self, pc, history, tage_taken):
+        total = 8 if tage_taken else -8  # TAGE bias term
+        for table in range(self.num_tables):
+            total += self.tables[table][self._index(pc, table, history)]
+        return total
+
+    # ------------------------------------------------------------------
+    def predict(self, pc, history, tage_taken):
+        """Return (use_sc, taken, sum) for the branch at ``pc``."""
+        total = self._sum(pc, history, tage_taken)
+        taken = total >= 0
+        use_sc = taken != tage_taken and abs(total) >= self.threshold
+        return use_sc, taken, total
+
+    def update(self, pc, history, tage_taken, taken, total):
+        """Train at commit when the sum was weak or the outcome was missed."""
+        sc_taken = total >= 0
+        if sc_taken != taken or abs(total) <= self.threshold * 4:
+            delta = 1 if taken else -1
+            for table in range(self.num_tables):
+                idx = self._index(pc, table, history)
+                counter = self.tables[table][idx] + delta
+                counter = max(-self.counter_max - 1,
+                              min(self.counter_max, counter))
+                self.tables[table][idx] = counter

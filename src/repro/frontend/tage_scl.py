@@ -1,0 +1,60 @@
+"""TAGE-SC-L: TAGE core + statistical corrector + loop predictor.
+
+Matches the paper's "TAGE-SC-L 64K" configuration role (the main branch
+predictor in Table 3); component sizes are scaled for simulation speed
+but the override structure (L over SC over TAGE) follows Seznec's
+championship predictor.
+"""
+
+from repro.frontend.predictors import BranchPredictor, PredictorMeta
+from repro.frontend.tage import TagePredictor
+from repro.frontend.loop_predictor import LoopPredictor
+from repro.frontend.statistical_corrector import StatisticalCorrector
+
+
+class TageSCL(BranchPredictor):
+    """Composite TAGE-SC-L predictor."""
+
+    name = "tage-scl"
+
+    def __init__(self, tage_kwargs=None, sc_kwargs=None, loop_kwargs=None):
+        super().__init__()
+        self.tage = TagePredictor(**(tage_kwargs or {}))
+        self.sc = StatisticalCorrector(**(sc_kwargs or {}))
+        self.loop = LoopPredictor(**(loop_kwargs or {}))
+
+    # The composite owns the authoritative history; the inner TAGE shares it.
+    def predict(self, pc):
+        self.tage.history = self.history
+        tage_taken, tage_extra = self.tage._lookup(pc)
+
+        use_sc, sc_taken, sc_sum = self.sc.predict(pc, self.history,
+                                                   tage_taken)
+        taken = sc_taken if use_sc else tage_taken
+
+        loop_valid, loop_taken = self.loop.predict(pc)
+        if loop_valid:
+            taken = loop_taken
+
+        meta = PredictorMeta(self.history, taken,
+                             (tage_extra, tage_taken, sc_sum, loop_valid))
+        self._push_history(taken)
+        return taken, meta
+
+    def update(self, pc, taken, meta):
+        tage_extra, tage_taken, sc_sum, _loop_valid = meta.extra
+        tage_meta = PredictorMeta(meta.history, tage_taken, tage_extra)
+        self.tage.update(pc, taken, tage_meta)
+        self.sc.update(pc, meta.history, tage_taken, taken, sc_sum)
+        self.loop.update(pc, taken)
+
+    def recover(self, taken, meta):
+        super().recover(taken, meta)
+
+    def recover_branch(self, pc, taken, meta):
+        """Full recovery including loop speculative counts."""
+        self.recover(taken, meta)
+        self.loop.recover(pc)
+
+    def _lookup(self, pc):  # pragma: no cover - predict() is overridden
+        raise NotImplementedError

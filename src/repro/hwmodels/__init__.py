@@ -1,0 +1,25 @@
+"""Hardware cost models.
+
+:mod:`repro.hwmodels.storage` implements the paper's Table 2 bit-count
+formulas exactly. :mod:`repro.hwmodels.synthesis` is an analytical
+gate-level estimator standing in for the Synopsys Design Compiler flow of
+Table 4 (we have no PDK or synthesis tools): it composes comparator
+trees, priority encoders and mux networks from a small component library
+whose per-gate constants are calibrated to the paper's reported anchor
+points.
+"""
+
+from repro.hwmodels.storage import StorageModel, paper_default_storage
+from repro.hwmodels.synthesis import (
+    SynthesisModel,
+    reconvergence_detection_report,
+    reuse_test_report,
+)
+
+__all__ = [
+    "StorageModel",
+    "paper_default_storage",
+    "SynthesisModel",
+    "reconvergence_detection_report",
+    "reuse_test_report",
+]

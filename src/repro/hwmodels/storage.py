@@ -1,0 +1,118 @@
+"""Table 2: additional storage required by the squash-reuse scheme.
+
+Implements the paper's formulas verbatim:
+
+* constant part: ROB RGID fields, RAT RGIDs and RAT checkpoint RGIDs::
+
+      4 regs x 6 bits x 256 ROB entries
+    + 64 arch regs x 6 bits
+    + 64 arch regs x 6 bits x 32 checkpoints  = 18,816 bits = 2.30 KB
+
+* variable part (N streams, M WPB entries/stream, P log entries/stream)::
+
+      (23*M + 33*P + 36) * N + log2(M * P * N^4)  bits
+
+  where 23 = WPB entry (valid + 2 x 11-bit page-offset PCs), 33 = squash
+  log entry (valid + 3x6 src RGIDs + 6 dest RGID + 8 dest preg) and 36 =
+  per-stream VPN register.
+"""
+
+import math
+
+
+def _log2_bits(value):
+    """ceil(log2(value)) with log2(1) = 0 (a 1-deep structure needs no
+    pointer bits), matching the paper's closed form."""
+    return math.ceil(math.log2(value)) if value > 1 else 0
+
+
+class StorageModel:
+    """Parametric storage cost of the MSSR extensions."""
+
+    def __init__(self, num_streams=4, wpb_entries=16, squash_log_entries=64,
+                 rgid_bits=6, arch_regs=64, rob_entries=256,
+                 rat_checkpoints=32, src_regs=3, preg_bits=8,
+                 pc_offset_bits=11, vpn_bits=36):
+        self.num_streams = num_streams
+        self.wpb_entries = wpb_entries
+        self.squash_log_entries = squash_log_entries
+        self.rgid_bits = rgid_bits
+        self.arch_regs = arch_regs
+        self.rob_entries = rob_entries
+        self.rat_checkpoints = rat_checkpoints
+        self.src_regs = src_regs
+        self.preg_bits = preg_bits
+        self.pc_offset_bits = pc_offset_bits
+        self.vpn_bits = vpn_bits
+
+    # -- per-structure fields -------------------------------------------
+    def wpb_entry_bits(self):
+        """Valid + start PC + end PC."""
+        return 1 + 2 * self.pc_offset_bits
+
+    def squash_log_entry_bits(self):
+        """Valid + source RGIDs + dest RGID + dest physical register."""
+        return (1 + self.src_regs * self.rgid_bits + self.rgid_bits
+                + self.preg_bits)
+
+    def rob_bits(self):
+        """RGIDs for 3 sources + 1 destination, every ROB entry."""
+        return ((self.src_regs + 1) * self.rgid_bits * self.rob_entries)
+
+    def rat_bits(self):
+        """Current RAT RGIDs plus every checkpoint's."""
+        per_map = self.arch_regs * self.rgid_bits
+        return per_map + per_map * self.rat_checkpoints
+
+    def pointer_bits(self):
+        """Stream/entry read + stream write pointers for WPB and log."""
+        n = self.num_streams
+        return (2 * _log2_bits(n) + _log2_bits(self.wpb_entries)
+                + 2 * _log2_bits(n) + _log2_bits(self.squash_log_entries))
+
+    # -- aggregates ------------------------------------------------------
+    def constant_bits(self):
+        return self.rob_bits() + self.rat_bits()
+
+    def variable_bits(self):
+        n, m, p = self.num_streams, self.wpb_entries, self.squash_log_entries
+        per_stream = (self.wpb_entry_bits() * m
+                      + self.squash_log_entry_bits() * p
+                      + self.vpn_bits)
+        return per_stream * n + self.pointer_bits()
+
+    def variable_bits_formula(self):
+        """The paper's closed form (identical result, kept for the test
+        that checks we transcribed Table 2 faithfully)."""
+        n, m, p = self.num_streams, self.wpb_entries, self.squash_log_entries
+        return ((23 * m + 33 * p + 36) * n
+                + math.ceil(math.log2(m * p * n ** 4)))
+
+    def total_bits(self):
+        return self.constant_bits() + self.variable_bits()
+
+    @staticmethod
+    def bits_to_kb(bits):
+        return bits / 8.0 / 1024.0
+
+    def report(self):
+        """Structured breakdown matching Table 2's rows."""
+        return {
+            "wpb_entry_bits": self.wpb_entry_bits(),
+            "squash_log_entry_bits": self.squash_log_entry_bits(),
+            "rob_bits": self.rob_bits(),
+            "rat_bits": self.rat_bits(),
+            "pointer_bits": self.pointer_bits(),
+            "constant_bits": self.constant_bits(),
+            "constant_kb": self.bits_to_kb(self.constant_bits()),
+            "variable_bits": self.variable_bits(),
+            "variable_kb": self.bits_to_kb(self.variable_bits()),
+            "total_bits": self.total_bits(),
+            "total_kb": self.bits_to_kb(self.total_bits()),
+        }
+
+
+def paper_default_storage():
+    """The configuration Table 2 totals: N=4, M=16, P=64 -> 3.53 KB."""
+    return StorageModel(num_streams=4, wpb_entries=16,
+                        squash_log_entries=64)

@@ -1,0 +1,37 @@
+"""A 64-bit RISC-V-flavoured instruction set for the simulator.
+
+The ISA is deliberately small but complete enough to compile real integer
+kernels: register-register and register-immediate ALU operations
+(including M-extension multiply/divide), 1/4/8-byte loads and stores,
+conditional branches, direct and indirect jumps, and a ``halt`` marker
+that terminates simulation at commit.
+"""
+
+from repro.isa.registers import (
+    NUM_ARCH_REGS,
+    REG_NAMES,
+    REG_NUMBERS,
+    reg_num,
+    reg_name,
+)
+from repro.isa.opcodes import Op, OPCODE_INFO, OpClass
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program, DataSegment
+from repro.isa.assembler import Assembler, AsmError, assemble_text
+
+__all__ = [
+    "NUM_ARCH_REGS",
+    "REG_NAMES",
+    "REG_NUMBERS",
+    "reg_num",
+    "reg_name",
+    "Op",
+    "OpClass",
+    "OPCODE_INFO",
+    "Instruction",
+    "Program",
+    "DataSegment",
+    "Assembler",
+    "AsmError",
+    "assemble_text",
+]

@@ -1,0 +1,372 @@
+"""Two-level assembler.
+
+:class:`Assembler` is a programmatic builder: call opcode-named methods to
+emit instructions, use :meth:`Assembler.label` for branch targets and the
+data helpers for static arrays, then :meth:`Assembler.finish` to get a
+:class:`~repro.isa.program.Program` with all labels resolved.
+
+:func:`assemble_text` additionally accepts a small textual syntax (one
+instruction per line, ``name:`` labels, ``#`` comments) which is convenient
+in tests and examples.
+"""
+
+from repro.isa.instruction import Instruction, INST_BYTES
+from repro.isa.opcodes import Op, OPCODE_INFO, OpClass
+from repro.isa.program import Program, DataSegment, CODE_BASE
+from repro.isa.registers import reg_num
+
+
+class AsmError(Exception):
+    """Raised for malformed assembly input or unresolved labels."""
+
+
+class _PendingInst:
+    """Instruction whose immediate may still be a symbolic label."""
+
+    __slots__ = ("op", "dest", "srcs", "imm", "pc")
+
+    def __init__(self, op, dest, srcs, imm, pc):
+        self.op = op
+        self.dest = dest
+        self.srcs = srcs
+        self.imm = imm
+        self.pc = pc
+
+
+class Assembler:
+    """Incremental program builder with label resolution."""
+
+    def __init__(self, code_base=CODE_BASE, data=None):
+        self.code_base = code_base
+        self.data = data if data is not None else DataSegment()
+        self._insts = []
+        self._labels = {}
+        self._entry_label = None
+
+    # ------------------------------------------------------------------
+    # Core emission
+    # ------------------------------------------------------------------
+    @property
+    def next_pc(self):
+        return self.code_base + INST_BYTES * len(self._insts)
+
+    def label(self, name):
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise AsmError("duplicate label %r" % name)
+        self._labels[name] = self.next_pc
+        return self
+
+    def entry(self, name):
+        """Mark the program entry point (defaults to the first instruction)."""
+        self._entry_label = name
+        return self
+
+    def emit(self, op, dest=None, srcs=(), imm=0):
+        """Emit a raw instruction; ``imm`` may be an int or a label name."""
+        info = OPCODE_INFO[op]
+        dest_n = reg_num(dest) if dest is not None else None
+        srcs_n = tuple(reg_num(s) for s in srcs)
+        if len(srcs_n) != info.num_srcs:
+            raise AsmError("%s expects %d sources, got %d"
+                           % (op.value, info.num_srcs, len(srcs_n)))
+        self._insts.append(_PendingInst(op, dest_n, srcs_n, imm, self.next_pc))
+        return self
+
+    # ------------------------------------------------------------------
+    # Typed emitters (one per operand shape)
+    # ------------------------------------------------------------------
+    def rr(self, op, dest, src1, src2):
+        return self.emit(op, dest, (src1, src2))
+
+    def ri(self, op, dest, src1, imm):
+        return self.emit(op, dest, (src1,), int(imm))
+
+    def load(self, op, dest, base, offset=0):
+        return self.emit(op, dest, (base,), int(offset))
+
+    def store(self, op, value, base, offset=0):
+        return self.emit(op, None, (value, base), int(offset))
+
+    def branch(self, op, src1, src2, target):
+        return self.emit(op, None, (src1, src2), target)
+
+    def jal(self, dest, target):
+        return self.emit(Op.JAL, dest, (), target)
+
+    def jalr(self, dest, base, offset=0):
+        return self.emit(Op.JALR, dest, (base,), int(offset))
+
+    def lui(self, dest, imm):
+        return self.emit(Op.LUI, dest, (), int(imm) << 12)
+
+    def nop(self):
+        return self.emit(Op.NOP)
+
+    def halt(self):
+        return self.emit(Op.HALT)
+
+    # ------------------------------------------------------------------
+    # Pseudo-instructions
+    # ------------------------------------------------------------------
+    def li(self, dest, value):
+        """Load an arbitrary 64-bit constant.
+
+        The simulator does not model encoding width, so a single ``addi``
+        from ``zero`` suffices for any value.
+        """
+        return self.ri(Op.ADDI, dest, "zero", int(value))
+
+    def mv(self, dest, src):
+        return self.ri(Op.ADDI, dest, src, 0)
+
+    def not_(self, dest, src):
+        return self.ri(Op.XORI, dest, src, -1)
+
+    def neg(self, dest, src):
+        return self.rr(Op.SUB, dest, "zero", src)
+
+    def seqz(self, dest, src):
+        return self.ri(Op.SLTIU, dest, src, 1)
+
+    def snez(self, dest, src):
+        return self.rr(Op.SLTU, dest, "zero", src)
+
+    def j(self, target):
+        return self.jal("zero", target)
+
+    def jr(self, base):
+        return self.jalr("zero", base, 0)
+
+    def call(self, target):
+        return self.jal("ra", target)
+
+    def ret(self):
+        return self.jalr("zero", "ra", 0)
+
+    def beqz(self, src, target):
+        return self.branch(Op.BEQ, src, "zero", target)
+
+    def bnez(self, src, target):
+        return self.branch(Op.BNE, src, "zero", target)
+
+    def bgt(self, src1, src2, target):
+        return self.branch(Op.BLT, src2, src1, target)
+
+    def ble(self, src1, src2, target):
+        return self.branch(Op.BGE, src2, src1, target)
+
+    def la(self, dest, symbol):
+        """Load the address of a data symbol."""
+        return self.li(dest, self.data.addr_of(symbol))
+
+    # ------------------------------------------------------------------
+    # Data helpers (delegate to the data segment)
+    # ------------------------------------------------------------------
+    def word_array(self, name, values):
+        return self.data.word_array(name, values)
+
+    def word(self, name, value=0):
+        return self.data.word(name, value)
+
+    def reserve(self, name, num_bytes):
+        return self.data.reserve(name, num_bytes)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def resolve(self, value):
+        """Resolve a label or integer immediate to an int."""
+        if isinstance(value, str):
+            if value in self._labels:
+                return self._labels[value]
+            if value in self.data.symbols:
+                return self.data.symbols[value]
+            raise AsmError("unresolved label %r" % value)
+        return int(value)
+
+    def finish(self):
+        """Resolve labels and return the assembled :class:`Program`."""
+        insts = []
+        for pend in self._insts:
+            imm = self.resolve(pend.imm)
+            insts.append(Instruction(pend.op, dest=pend.dest,
+                                     srcs=pend.srcs, imm=imm, pc=pend.pc))
+        entry = None
+        if self._entry_label is not None:
+            entry = self.resolve(self._entry_label)
+        return Program(insts, labels=dict(self._labels), data=self.data,
+                       entry=entry, code_base=self.code_base)
+
+
+# Convenience: install thin opcode-named wrappers (``a.add(...)``,
+# ``a.beq(...)``) so assembly code reads naturally. Reserved Python words
+# (``and``, ``or``) get a trailing underscore.
+def _install_opcode_methods():
+    def make_rr(op):
+        def method(self, dest, src1, src2):
+            return self.rr(op, dest, src1, src2)
+        return method
+
+    def make_ri(op):
+        def method(self, dest, src1, imm):
+            return self.ri(op, dest, src1, imm)
+        return method
+
+    def make_load(op):
+        def method(self, dest, base, offset=0):
+            return self.load(op, dest, base, offset)
+        return method
+
+    def make_store(op):
+        def method(self, value, base, offset=0):
+            return self.store(op, value, base, offset)
+        return method
+
+    def make_branch(op):
+        def method(self, src1, src2, target):
+            return self.branch(op, src1, src2, target)
+        return method
+
+    for op, info in OPCODE_INFO.items():
+        name = op.value
+        if name in ("and", "or", "not"):
+            name += "_"
+        if hasattr(Assembler, name):
+            continue
+        if info.op_class in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
+            method = make_ri(op) if info.has_imm else make_rr(op)
+        elif info.op_class is OpClass.LOAD:
+            method = make_load(op)
+        elif info.op_class is OpClass.STORE:
+            method = make_store(op)
+        elif info.op_class is OpClass.BRANCH and op not in (Op.JAL, Op.JALR):
+            method = make_branch(op)
+        else:
+            continue
+        method.__name__ = name
+        method.__doc__ = "Emit a %s instruction." % op.value
+        setattr(Assembler, name, method)
+
+
+_install_opcode_methods()
+
+_TEXT_OPS = {op.value: op for op in Op}
+
+
+def assemble_text(source, code_base=CODE_BASE):
+    """Assemble a textual listing into a :class:`Program`.
+
+    Supported syntax, one item per line::
+
+        label:
+        add t0, t1, t2
+        addi t0, t1, -4
+        ld t0, 8(a0)
+        sd t0, 8(a0)
+        beq t0, t1, label
+        jal ra, label
+        .word name 1 2 3      # initialised 64-bit array
+        .space name 128       # zeroed bytes
+        # comment
+    """
+    asm = Assembler(code_base=code_base)
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            _assemble_line(asm, line)
+        except (AsmError, ValueError, KeyError) as exc:
+            raise AsmError("line %d (%r): %s" % (lineno, raw.strip(), exc))
+    return asm.finish()
+
+
+def _parse_int(token):
+    return int(token, 0)
+
+
+def _assemble_line(asm, line):
+    if line.endswith(":"):
+        asm.label(line[:-1].strip())
+        return
+    if line.startswith(".word"):
+        parts = line.split()
+        asm.word_array(parts[1], [_parse_int(v) for v in parts[2:]])
+        return
+    if line.startswith(".space"):
+        parts = line.split()
+        asm.reserve(parts[1], _parse_int(parts[2]))
+        return
+    mnemonic, _, rest = line.partition(" ")
+    args = [a.strip() for a in rest.split(",")] if rest.strip() else []
+    _emit_text_inst(asm, mnemonic.strip(), args)
+
+
+def _mem_operand(arg):
+    """Parse ``offset(base)`` into (offset, base)."""
+    if "(" in arg:
+        off_s, _, base_s = arg.partition("(")
+        base = base_s.rstrip(") ")
+        offset = _parse_int(off_s) if off_s.strip() else 0
+        return offset, base
+    return 0, arg
+
+
+def _imm_or_label(token):
+    try:
+        return _parse_int(token)
+    except ValueError:
+        return token
+
+
+_PSEUDO_TEXT = {
+    "li": lambda a, args: a.li(args[0], _parse_int(args[1])),
+    "mv": lambda a, args: a.mv(args[0], args[1]),
+    "j": lambda a, args: a.j(_imm_or_label(args[0])),
+    "jr": lambda a, args: a.jr(args[0]),
+    "call": lambda a, args: a.call(_imm_or_label(args[0])),
+    "ret": lambda a, args: a.ret(),
+    "beqz": lambda a, args: a.beqz(args[0], _imm_or_label(args[1])),
+    "bnez": lambda a, args: a.bnez(args[0], _imm_or_label(args[1])),
+    "bgt": lambda a, args: a.bgt(args[0], args[1], _imm_or_label(args[2])),
+    "ble": lambda a, args: a.ble(args[0], args[1], _imm_or_label(args[2])),
+    "la": lambda a, args: a.la(args[0], args[1]),
+    "seqz": lambda a, args: a.seqz(args[0], args[1]),
+    "snez": lambda a, args: a.snez(args[0], args[1]),
+    "neg": lambda a, args: a.neg(args[0], args[1]),
+    "not": lambda a, args: a.not_(args[0], args[1]),
+}
+
+
+def _emit_text_inst(asm, mnemonic, args):
+    if mnemonic in _PSEUDO_TEXT:
+        _PSEUDO_TEXT[mnemonic](asm, args)
+        return
+    op = _TEXT_OPS.get(mnemonic)
+    if op is None:
+        raise AsmError("unknown mnemonic %r" % mnemonic)
+    info = OPCODE_INFO[op]
+    if op is Op.JAL:
+        asm.jal(args[0], _imm_or_label(args[1]))
+    elif op is Op.JALR:
+        offset, base = _mem_operand(args[1]) if len(args) > 1 else (0, "ra")
+        asm.jalr(args[0], base, offset)
+    elif op is Op.LUI:
+        asm.lui(args[0], _parse_int(args[1]))
+    elif info.op_class is OpClass.LOAD:
+        offset, base = _mem_operand(args[1])
+        asm.load(op, args[0], base, offset)
+    elif info.op_class is OpClass.STORE:
+        offset, base = _mem_operand(args[1])
+        asm.store(op, args[0], base, offset)
+    elif info.op_class is OpClass.BRANCH:
+        asm.branch(op, args[0], args[1], _imm_or_label(args[2]))
+    elif info.has_imm:
+        asm.ri(op, args[0], args[1], _parse_int(args[2]))
+    elif info.num_srcs == 2:
+        asm.rr(op, args[0], args[1], args[2])
+    elif op in (Op.NOP, Op.HALT):
+        asm.emit(op)
+    else:
+        raise AsmError("cannot assemble %r" % mnemonic)

@@ -1,0 +1,84 @@
+"""Static instruction representation."""
+
+from repro.isa.opcodes import Op, OpClass, OPCODE_INFO
+from repro.isa.registers import reg_name
+
+#: All instructions are 4 bytes, like RV64 without the C extension.
+INST_BYTES = 4
+
+
+class Instruction:
+    """One static instruction.
+
+    Operand conventions (``srcs`` is a tuple of architectural register
+    numbers):
+
+    * ALU reg-reg:      ``dest = fn(srcs[0], srcs[1])``
+    * ALU reg-imm:      ``dest = fn(srcs[0], imm)``
+    * loads:            ``dest = mem[srcs[0] + imm]``
+    * stores:           ``mem[srcs[1] + imm] = srcs[0]``
+    * branches:         ``if fn(srcs[0], srcs[1]): pc = imm`` (absolute target)
+    * ``jal``:          ``dest = pc + 4; pc = imm``
+    * ``jalr``:         ``dest = pc + 4; pc = (srcs[0] + imm)``
+
+    Branch/jump targets are stored as *absolute byte addresses* in ``imm``
+    (the assembler resolves labels), which keeps the simulator simple while
+    remaining faithful to PC-relative hardware encodings.
+    """
+
+    __slots__ = ("op", "info", "dest", "srcs", "imm", "pc", "label",
+                 "is_branch", "is_cond_branch", "is_indirect", "is_load",
+                 "is_store", "is_halt", "writes_reg")
+
+    def __init__(self, op, dest=None, srcs=(), imm=0, pc=None, label=None):
+        if not isinstance(op, Op):
+            raise TypeError("op must be an Op, got %r" % (op,))
+        self.op = op
+        self.info = OPCODE_INFO[op]
+        self.dest = dest
+        self.srcs = tuple(srcs)
+        self.imm = imm
+        self.pc = pc
+        self.label = label
+        self._validate()
+        # Precomputed classification flags (hot paths in the simulator).
+        info = self.info
+        self.is_branch = info.is_control
+        self.is_cond_branch = (info.op_class is OpClass.BRANCH
+                               and op not in (Op.JAL, Op.JALR))
+        self.is_indirect = op is Op.JALR
+        self.is_load = info.is_load
+        self.is_store = info.is_store
+        self.is_halt = op is Op.HALT
+        self.writes_reg = info.has_dest and self.dest != 0
+
+    def _validate(self):
+        info = self.info
+        if len(self.srcs) != info.num_srcs:
+            raise ValueError(
+                "%s expects %d sources, got %d"
+                % (self.op.value, info.num_srcs, len(self.srcs)))
+        if info.has_dest and self.dest is None:
+            raise ValueError("%s requires a destination" % self.op.value)
+        if not info.has_dest and self.dest is not None:
+            raise ValueError("%s takes no destination" % self.op.value)
+
+    def next_pc(self):
+        """Fall-through PC."""
+        return self.pc + INST_BYTES
+
+    def taken_target(self):
+        """Statically-known taken target (None for indirect jumps)."""
+        if self.op is Op.JALR:
+            return None
+        return self.imm
+
+    def __repr__(self):
+        parts = [self.op.value]
+        if self.dest is not None:
+            parts.append(reg_name(self.dest))
+        parts.extend(reg_name(s) for s in self.srcs)
+        if self.info.has_imm:
+            parts.append(str(self.imm))
+        loc = "@%#x" % self.pc if self.pc is not None else ""
+        return "<%s%s>" % (" ".join(parts), loc)

@@ -1,0 +1,53 @@
+"""Architectural register file naming.
+
+We follow the RISC-V integer ABI: 32 registers, ``x0`` hard-wired to zero.
+Both numeric (``x7``) and ABI (``t2``) names are accepted everywhere.
+"""
+
+NUM_ARCH_REGS = 32
+
+ABI_NAMES = [
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+]
+
+#: Register number -> canonical ABI name.
+REG_NAMES = list(ABI_NAMES)
+
+#: Every accepted spelling -> register number.
+REG_NUMBERS = {}
+for _i, _abi in enumerate(ABI_NAMES):
+    REG_NUMBERS[_abi] = _i
+    REG_NUMBERS["x%d" % _i] = _i
+REG_NUMBERS["fp"] = REG_NUMBERS["s0"]
+
+#: Registers a callee must preserve (used by the compiler's allocator).
+CALLEE_SAVED = ["s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+                "s10", "s11"]
+
+#: Scratch registers clobbered freely by expression evaluation.
+CALLER_SAVED_TEMPS = ["t0", "t1", "t2", "t3", "t4", "t5", "t6"]
+
+#: Argument / return-value registers.
+ARG_REGS = ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7"]
+
+
+def reg_num(name):
+    """Resolve a register name or number to its architectural index."""
+    if isinstance(name, int):
+        if 0 <= name < NUM_ARCH_REGS:
+            return name
+        raise ValueError("register number out of range: %r" % (name,))
+    try:
+        return REG_NUMBERS[name]
+    except KeyError:
+        raise ValueError("unknown register name: %r" % (name,)) from None
+
+
+def reg_name(num):
+    """Canonical ABI name for a register index."""
+    return REG_NAMES[num]

@@ -1,0 +1,6 @@
+"""Timing model of the data-memory hierarchy (L1D, L2, DRAM)."""
+
+from repro.mem.cache import Cache
+from repro.mem.hierarchy import MemoryHierarchy
+
+__all__ = ["Cache", "MemoryHierarchy"]

@@ -1,0 +1,89 @@
+"""Set-associative cache timing model.
+
+Functional data lives in :class:`repro.emu.memory.SparseMemory`; caches
+only track *presence* to derive access latencies (a standard decoupling
+in execution-driven simulators). Writeback/write-allocate with true LRU.
+"""
+
+
+class _Line:
+    __slots__ = ("tag", "valid", "dirty", "lru")
+
+    def __init__(self):
+        self.tag = 0
+        self.valid = False
+        self.dirty = False
+        self.lru = 0
+
+
+class Cache:
+    """One cache level."""
+
+    def __init__(self, name, size_bytes, assoc, line_bytes=64, latency=3):
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError("cache size must be a multiple of way size")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.latency = latency
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self.sets = [[_Line() for _ in range(assoc)]
+                     for _ in range(self.num_sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _locate(self, addr):
+        line_addr = addr // self.line_bytes
+        return self.sets[line_addr % self.num_sets], line_addr
+
+    def lookup(self, addr):
+        """True on hit; updates LRU."""
+        self._tick += 1
+        ways, tag = self._locate(addr)
+        for line in ways:
+            if line.valid and line.tag == tag:
+                line.lru = self._tick
+                self.hits += 1
+                return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr, dirty=False):
+        """Install the line; returns True if a dirty victim was evicted."""
+        self._tick += 1
+        ways, tag = self._locate(addr)
+        for line in ways:
+            if line.valid and line.tag == tag:
+                line.lru = self._tick
+                line.dirty = line.dirty or dirty
+                return False
+        victim = min(ways, key=lambda l: (l.valid, l.lru))
+        wrote_back = victim.valid and victim.dirty
+        if wrote_back:
+            self.writebacks += 1
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = dirty
+        victim.lru = self._tick
+        return wrote_back
+
+    def mark_dirty(self, addr):
+        ways, tag = self._locate(addr)
+        for line in ways:
+            if line.valid and line.tag == tag:
+                line.dirty = True
+                return True
+        return False
+
+    def flush(self):
+        for ways in self.sets:
+            for line in ways:
+                line.valid = False
+                line.dirty = False
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses

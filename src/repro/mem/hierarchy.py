@@ -1,0 +1,44 @@
+"""Two-level cache hierarchy with a flat DRAM latency behind it.
+
+Latencies follow the paper's Table 3: 64KB/4-way L1D at 3 cycles, 2MB/
+8-way L2 at 12 cycles, 120-cycle DRAM. An access probes each level in
+order; the returned latency is the first-hit level's (inclusive) load-to-
+use delay. Misses fill all levels on the way back (inclusive hierarchy).
+"""
+
+from repro.mem.cache import Cache
+
+
+class MemoryHierarchy:
+    """L1D + L2 + DRAM timing model."""
+
+    def __init__(self, l1_size=64 * 1024, l1_assoc=4, l1_latency=3,
+                 l2_size=2 * 1024 * 1024, l2_assoc=8, l2_latency=12,
+                 dram_latency=120, line_bytes=64):
+        self.l1 = Cache("L1D", l1_size, l1_assoc, line_bytes, l1_latency)
+        self.l2 = Cache("L2", l2_size, l2_assoc, line_bytes, l2_latency)
+        self.dram_latency = dram_latency
+        self.dram_accesses = 0
+
+    def access(self, addr, is_write=False):
+        """Probe the hierarchy; returns the access latency in cycles."""
+        if self.l1.lookup(addr):
+            if is_write:
+                self.l1.mark_dirty(addr)
+            return self.l1.latency
+        if self.l2.lookup(addr):
+            self.l1.fill(addr, dirty=is_write)
+            return self.l2.latency
+        self.dram_accesses += 1
+        self.l2.fill(addr)
+        self.l1.fill(addr, dirty=is_write)
+        return self.dram_latency
+
+    def stats(self):
+        return {
+            "l1_hits": self.l1.hits,
+            "l1_misses": self.l1.misses,
+            "l2_hits": self.l2.hits,
+            "l2_misses": self.l2.misses,
+            "dram_accesses": self.dram_accesses,
+        }

@@ -1,0 +1,29 @@
+"""Multi-Stream Squash Reuse (the paper's contribution).
+
+Components map one-to-one onto Section 3 of the paper:
+
+* :mod:`repro.mssr.wpb` — Wrong-Path Buffers in the fetch stage, with the
+  aligner-based block-range reconvergence search (Section 3.4).
+* :mod:`repro.mssr.squash_log` — the Squash Log in the rename stage
+  holding per-instruction RGIDs and destination registers (Section 3.3.2).
+* :mod:`repro.mssr.bloom` — the Bloom-filter memory-hazard option
+  (Section 3.8.3).
+* :mod:`repro.mssr.controller` — the glue implementing reconvergence
+  lockstep, the RGID reuse test, physical-register retention policy
+  (conditions 1-5) and RGID overflow/reset handling.
+"""
+
+from repro.mssr.wpb import WrongPathBuffers, WPBStream
+from repro.mssr.squash_log import SquashLog, LogStream, LogEntry
+from repro.mssr.bloom import BloomFilter
+from repro.mssr.controller import MSSRController
+
+__all__ = [
+    "WrongPathBuffers",
+    "WPBStream",
+    "SquashLog",
+    "LogStream",
+    "LogEntry",
+    "BloomFilter",
+    "MSSRController",
+]

@@ -1,0 +1,48 @@
+"""Counting-free Bloom filter over memory addresses (Section 3.8.3).
+
+Used by the optional "bloom" memory-hazard scheme: every executed store
+address (and, in a multicore, every snooped address) is inserted; a
+squashed load whose address hits the filter is denied reuse. The filter
+is cleared whenever all squash logs are invalidated, bounding staleness.
+"""
+
+
+class BloomFilter:
+    """k-hash Bloom filter over 8-byte address granules."""
+
+    GRANULE = 8
+
+    def __init__(self, num_bits=1024, num_hashes=2):
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self.bits = 0
+        self.insertions = 0
+
+    def _positions(self, granule):
+        positions = []
+        h = granule * 0x9E3779B97F4A7C15 & ((1 << 64) - 1)
+        for i in range(self.num_hashes):
+            positions.append((h >> (i * 16)) % self.num_bits)
+        return positions
+
+    def _granules(self, addr, size):
+        first = addr // self.GRANULE
+        last = (addr + max(size, 1) - 1) // self.GRANULE
+        return range(first, last + 1)
+
+    def insert(self, addr, size):
+        for granule in self._granules(addr, size):
+            for pos in self._positions(granule):
+                self.bits |= (1 << pos)
+        self.insertions += 1
+
+    def maybe_contains(self, addr, size):
+        """True if any granule of [addr, addr+size) may have been inserted."""
+        for granule in self._granules(addr, size):
+            if all(self.bits >> pos & 1 for pos in self._positions(granule)):
+                return True
+        return False
+
+    def clear(self):
+        self.bits = 0
+        self.insertions = 0

@@ -1,0 +1,102 @@
+"""Squash Log: rename-side squashed-instruction state (Section 3.3.2).
+
+Each stream mirrors the instruction sequence of its WPB twin but at
+instruction granularity, recording exactly what the paper's Table 2
+entry lists: source RGIDs, destination RGID, destination physical
+register, plus execution status. (We additionally keep the PC and opcode
+purely as simulator cross-checks — the hardware derives alignment from
+the IFU's offset signal and never stores PCs.)
+"""
+
+from repro.isa.opcodes import OpClass
+from repro.pipeline.rename import NULL_RGID
+
+
+class LogEntry:
+    """One squashed instruction's reuse metadata."""
+
+    __slots__ = ("pc", "op", "executed", "src_rgids", "dest_rgid",
+                 "dest_preg", "is_load", "load_addr", "load_size",
+                 "reusable", "reserved", "consumed", "failed")
+
+    def __init__(self, dyn):
+        inst = dyn.inst
+        self.pc = dyn.pc
+        self.op = inst.op
+        self.executed = dyn.executed
+        self.src_rgids = dyn.src_rgids
+        self.dest_rgid = dyn.dest_rgid
+        self.dest_preg = dyn.dest_preg
+        self.is_load = inst.is_load
+        self.load_addr = dyn.mem_addr if inst.is_load else None
+        self.load_size = dyn.mem_size if inst.is_load else 0
+        # Reuse candidates: executed, register-writing, non-control,
+        # non-store instructions with a valid destination RGID. Stores
+        # have no register consumers and must re-execute for hazard
+        # detection (Section 3.1); control instructions must re-resolve.
+        op_class = inst.info.op_class
+        self.reusable = (
+            dyn.executed
+            and inst.writes_reg
+            and not dyn.verify_load
+            and op_class not in (OpClass.BRANCH, OpClass.STORE,
+                                 OpClass.NOP, OpClass.HALT)
+            and self.dest_rgid is not None
+            and self.dest_rgid != NULL_RGID
+            and NULL_RGID not in self.src_rgids
+            # A load reused under the Bloom scheme never computed an
+            # address this time around; without one, the memory-hazard
+            # check cannot run, so it may not be reused again.
+            and not (self.is_load and self.load_addr is None)
+        )
+        self.reserved = False   # core granted us the dest preg
+        self.consumed = False   # preg transferred to a reusing instruction
+        self.failed = False     # reuse test failed; preg already released
+
+
+class LogStream:
+    """One squashed stream in the Squash Log."""
+
+    __slots__ = ("entries", "valid", "event_id", "generation")
+
+    def __init__(self):
+        self.entries = []
+        self.valid = False
+        self.event_id = -1
+        self.generation = 0
+
+    def fill(self, entries, event_id):
+        self.generation += 1
+        self.entries = entries
+        self.valid = bool(entries)
+        self.event_id = event_id
+
+    def invalidate(self):
+        self.generation += 1
+        self.entries = []
+        self.valid = False
+
+    def reserved_pregs(self):
+        """Registers still held by this stream (not consumed/failed)."""
+        return [e.dest_preg for e in self.entries
+                if e.reserved and not e.consumed and not e.failed]
+
+
+class SquashLog:
+    """N-stream squash log; indices track the WPB one-to-one."""
+
+    def __init__(self, num_streams, entries_per_stream):
+        self.num_streams = num_streams
+        self.entries_per_stream = entries_per_stream
+        self.streams = [LogStream() for _ in range(num_streams)]
+
+    def fill(self, idx, squashed_dyns, event_id):
+        """Populate stream ``idx`` from squashed instructions (oldest
+        first); younger instructions beyond capacity are discarded."""
+        entries = [LogEntry(dyn)
+                   for dyn in squashed_dyns[:self.entries_per_stream]]
+        self.streams[idx].fill(entries, event_id)
+        return self.streams[idx]
+
+    def any_valid(self):
+        return any(s.valid for s in self.streams)

@@ -1,0 +1,34 @@
+"""Out-of-order core model."""
+
+from repro.pipeline.config import (
+    CoreConfig,
+    MSSRConfig,
+    RIConfig,
+    baseline_config,
+    mssr_config,
+    dci_config,
+    ri_config,
+)
+from repro.pipeline.core import O3Core, SimResult, SimulationError
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.stats import SimStats
+from repro.pipeline.regfile import PhysRegFile
+from repro.pipeline.rename import RenameTable, NULL_RGID
+
+__all__ = [
+    "CoreConfig",
+    "MSSRConfig",
+    "RIConfig",
+    "baseline_config",
+    "mssr_config",
+    "dci_config",
+    "ri_config",
+    "O3Core",
+    "SimResult",
+    "SimulationError",
+    "DynInst",
+    "SimStats",
+    "PhysRegFile",
+    "RenameTable",
+    "NULL_RGID",
+]

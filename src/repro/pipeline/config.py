@@ -1,0 +1,122 @@
+"""Core configuration (defaults follow the paper's Table 3)."""
+
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass
+class MSSRConfig:
+    """Multi-Stream Squash Reuse parameters (Sections 3.3-3.8).
+
+    ``num_streams`` = N wrong-path streams tracked (DCI == 1),
+    ``wpb_entries`` = M fetch blocks per Wrong-Path Buffer stream,
+    ``squash_log_entries`` = P instructions per Squash Log stream.
+    """
+
+    num_streams: int = 4
+    wpb_entries: int = 16
+    squash_log_entries: int = 64
+    rgid_bits: int = 6
+    reconvergence_timeout: int = 1024
+    rgid_overflow_limit: int = 8
+    #: "verify" re-executes reused loads and flushes on mismatch (NoSQ
+    #: style, the paper's evaluated scheme); "bloom" filters reuse of
+    #: loads whose address may have been stored to (Section 3.8.3).
+    memory_hazard_scheme: str = "verify"
+    bloom_bits: int = 1024
+    bloom_hashes: int = 2
+    #: Restrict each WPB stream to one virtual page (Section 3.4 timing
+    #: optimisation). Reconvergence beyond the page is then not detected.
+    single_page_wpb: bool = False
+
+
+@dataclasses.dataclass
+class RIConfig:
+    """Register Integration reuse-table parameters (Section 2.2.3/4.1.2)."""
+
+    num_sets: int = 64
+    assoc: int = 4
+
+
+@dataclasses.dataclass
+class CoreConfig:
+    """Out-of-order core parameters."""
+
+    # Frontend
+    fetch_block_insts: int = 8        # 32B fetch blocks
+    #: Prediction blocks fetched per cycle. 2 models the paper's
+    #: Section 3.9.1 multiple-block fetching extension (reconvergence
+    #: detection is simply applied to every fetched block).
+    fetch_blocks_per_cycle: int = 1
+    frontend_stages: int = 5          # fetch-to-rename depth
+    decode_queue: int = 32
+    predictor: str = "tage-scl"
+    btb_sets: int = 512
+    btb_assoc: int = 4
+    ras_depth: int = 32
+
+    # Backend
+    width: int = 8                    # decode/rename/commit width
+    rob_entries: int = 256
+    int_iq_entries: int = 64
+    mem_iq_entries: int = 64
+    num_alu: int = 4
+    num_bru: int = 2
+    num_lsu: int = 2
+    num_phys_regs: int = 256
+    lq_entries: int = 96
+    sq_entries: int = 96
+
+    # Latencies
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 12
+    branch_latency: int = 1
+    store_latency: int = 1
+
+    # Memory hierarchy
+    l1_size: int = 64 * 1024
+    l1_assoc: int = 4
+    l1_latency: int = 3
+    l2_size: int = 2 * 1024 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 12
+    dram_latency: int = 120
+
+    # Reuse scheme: None (baseline), an MSSRConfig, or an RIConfig.
+    mssr: Optional[MSSRConfig] = None
+    ri: Optional[RIConfig] = None
+
+    # Safety limits
+    max_cycles: int = 50_000_000
+
+    def __post_init__(self):
+        if self.mssr is not None and self.ri is not None:
+            raise ValueError("enable at most one reuse scheme")
+        if self.num_phys_regs < 32 + self.width:
+            raise ValueError("too few physical registers")
+
+
+def baseline_config(**overrides):
+    """Table 3 baseline (no squash reuse)."""
+    return CoreConfig(**overrides)
+
+
+def mssr_config(num_streams=4, wpb_entries=16, squash_log_entries=64,
+                **overrides):
+    """Baseline + Multi-Stream Squash Reuse."""
+    mssr = MSSRConfig(num_streams=num_streams, wpb_entries=wpb_entries,
+                      squash_log_entries=squash_log_entries)
+    return CoreConfig(mssr=mssr, **overrides)
+
+
+def dci_config(**overrides):
+    """Dynamic Control Independence modelled as single-stream MSSR
+    (exactly how the paper evaluates DCI, Section 4.1.2)."""
+    return mssr_config(num_streams=1, **overrides)
+
+
+def ri_config(num_sets=64, assoc=4, **overrides):
+    """Baseline + Register Integration reuse table."""
+    return CoreConfig(ri=RIConfig(num_sets=num_sets, assoc=assoc),
+                      **overrides)

@@ -1,0 +1,568 @@
+"""Execution-driven out-of-order core (gem5-O3-style).
+
+The model really executes down predicted paths: values live in the
+physical register file, branches resolve out of order in the backend, and
+mispredictions squash and roll the RAT back — which is exactly the
+environment squash reuse needs (wrong-path results parked in physical
+registers, multiple outstanding squashed streams, out-of-order branch
+resolution producing the paper's *hardware-induced* multi-stream
+reconvergence).
+
+Stage processing order within a cycle is commit -> writeback -> issue ->
+rename/dispatch -> fetch, with squashes applied at cycle end; a
+single-cycle producer wakes its consumer back-to-back.
+"""
+
+import collections
+
+from repro.baselines.base import NullScheme
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.fetch import FetchUnit
+from repro.frontend.predictors import build_predictor
+from repro.frontend.ras import ReturnAddressStack
+from repro.frontend.tage_scl import TageSCL
+from repro.isa.instruction import INST_BYTES
+from repro.isa.opcodes import Op, OpClass
+from repro.isa.program import STACK_TOP
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.emu.memory import SparseMemory
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.regfile import PhysRegFile
+from repro.pipeline.rename import RenameTable
+from repro.pipeline.scheduler import IssueQueue, FunctionUnits
+from repro.pipeline.stats import SimStats
+from repro.utils.bits import MASK64, wrap64, to_unsigned
+
+
+class SimulationError(Exception):
+    """Raised on deadlock or budget exhaustion."""
+
+
+class SimResult:
+    """Final architectural state plus statistics."""
+
+    def __init__(self, regs, memory, stats):
+        self.regs = regs
+        self.memory = memory
+        self.stats = stats
+
+    def reg(self, name_or_num):
+        from repro.isa.registers import reg_num
+        return self.regs[reg_num(name_or_num)]
+
+
+class _SquashRequest:
+    __slots__ = ("boundary_seq", "trigger", "kind", "redirect_pc")
+
+    def __init__(self, boundary_seq, trigger, kind, redirect_pc):
+        self.boundary_seq = boundary_seq
+        self.trigger = trigger
+        self.kind = kind           # "branch" | "replay" | "verify"
+        self.redirect_pc = redirect_pc
+
+
+def _sext32(value):
+    value &= 0xFFFFFFFF
+    if value & 0x80000000:
+        value |= ~0xFFFFFFFF & MASK64
+    return value
+
+
+class O3Core:
+    """Out-of-order core simulator."""
+
+    def __init__(self, program, config=None, reuse_scheme=None):
+        self.program = program
+        self.config = config or CoreConfig()
+        cfg = self.config
+
+        self.memory = SparseMemory(program.initial_memory())
+        self.hierarchy = MemoryHierarchy(
+            l1_size=cfg.l1_size, l1_assoc=cfg.l1_assoc,
+            l1_latency=cfg.l1_latency, l2_size=cfg.l2_size,
+            l2_assoc=cfg.l2_assoc, l2_latency=cfg.l2_latency,
+            dram_latency=cfg.dram_latency)
+        self.regfile = PhysRegFile(cfg.num_phys_regs, NUM_ARCH_REGS)
+
+        scheme = reuse_scheme
+        if scheme is None:
+            scheme = self._build_scheme(cfg)
+        self.scheme = scheme
+
+        track_rgids = getattr(scheme, "needs_rgids", False)
+        rgid_bits = cfg.mssr.rgid_bits if cfg.mssr else 6
+        self.rat = RenameTable(self.regfile, rgid_bits=rgid_bits,
+                               track_rgids=track_rgids)
+        # Initialise the stack pointer.
+        self.regfile.set_value(self.rat.lookup(2), STACK_TOP)
+
+        self.predictor = build_predictor(cfg.predictor)
+        self.btb = BranchTargetBuffer(cfg.btb_sets, cfg.btb_assoc)
+        self.ras = ReturnAddressStack(cfg.ras_depth)
+        self.fetch = FetchUnit(program, self.predictor, self.btb, self.ras,
+                               block_insts=cfg.fetch_block_insts)
+
+        self.int_iq = IssueQueue("int", cfg.int_iq_entries)
+        self.mem_iq = IssueQueue("mem", cfg.mem_iq_entries)
+        self.fus = FunctionUnits(cfg)
+        self.lsq = LoadStoreQueue(self.memory, cfg.lq_entries,
+                                  cfg.sq_entries)
+
+        self.rob = collections.deque()
+        self.decode_queue = collections.deque()
+        self._events = {}            # cycle -> [DynInst]
+        self._squash_request = None
+        self.cycle = 0
+        self.halted = False
+        self.stats = SimStats()
+        self._last_commit_cycle = 0
+        self._last_retired_block = -1
+
+        self.scheme.attach(self)
+
+    @staticmethod
+    def _build_scheme(cfg):
+        if cfg.mssr is not None:
+            from repro.mssr.controller import MSSRController
+            return MSSRController(cfg.mssr)
+        if cfg.ri is not None:
+            from repro.baselines.register_integration import \
+                RegisterIntegration
+            return RegisterIntegration(cfg.ri)
+        return NullScheme()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_cycles=None):
+        """Simulate to ``halt``; returns a :class:`SimResult`."""
+        limit = max_cycles or self.config.max_cycles
+        while not self.halted:
+            if self.cycle >= limit:
+                raise SimulationError("cycle budget exhausted (%d)" % limit)
+            if self.cycle - self._last_commit_cycle > 100_000:
+                raise SimulationError(
+                    "deadlock: no commit since cycle %d"
+                    % self._last_commit_cycle)
+            self.step()
+        self.scheme.finalize()
+        return SimResult(self.arch_regs(), self.memory, self.stats)
+
+    def step(self):
+        """Advance one cycle."""
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        self.fus.new_cycle(self.cycle)
+        self._commit_stage()
+        if self.halted:
+            return
+        self._writeback_stage()
+        self._execute_stage()
+        self._rename_stage()
+        self._fetch_stage()
+        if self._squash_request is not None:
+            self._apply_squash(self._squash_request)
+            self._squash_request = None
+        self.scheme.on_cycle(self.cycle)
+
+    def arch_regs(self):
+        """Current architectural register values via the RAT."""
+        return [self.regfile.values[self.rat.lookup(a)] if a else 0
+                for a in range(NUM_ARCH_REGS)]
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def _commit_stage(self):
+        for _ in range(self.config.width):
+            if not self.rob:
+                return
+            head = self.rob[0]
+            if not head.completed or (head.verify_load and not head.executed):
+                return
+            self.rob.popleft()
+            head.committed = True
+            self._commit_inst(head)
+            self.stats.committed_insts += 1
+            self._last_commit_cycle = self.cycle
+            if head.inst.is_halt:
+                self.halted = True
+                return
+
+    def _commit_inst(self, head):
+        inst = head.inst
+        if inst.is_store:
+            self.lsq.commit_store(head)
+        elif inst.is_load:
+            self.lsq.commit_load(head)
+
+        if head.dest_preg is not None:
+            self.regfile.mark_arch(head.dest_preg)
+            if head.old_preg is not None:
+                self.free_preg(head.old_preg)
+
+        if inst.is_branch:
+            self._train_branch(head)
+
+        if head.block_id - 1 > self._last_retired_block:
+            self.fetch.retire_block(head.block_id - 1)
+            self._last_retired_block = head.block_id - 1
+
+        self.scheme.on_commit(head)
+
+    def _train_branch(self, head):
+        inst = head.inst
+        taken = head.actual_npc != inst.pc + INST_BYTES
+        if inst.is_cond_branch:
+            self.stats.cond_branches += 1
+            if head.mispredicted:
+                self.stats.cond_mispredicts += 1
+            if head.bp_meta is not None:
+                self.predictor.update(inst.pc, taken, head.bp_meta)
+        elif inst.is_indirect:
+            self.stats.indirect_branches += 1
+            if head.mispredicted:
+                self.stats.indirect_mispredicts += 1
+            self.btb.install(inst.pc, head.actual_npc)
+
+    def free_preg(self, preg):
+        """Release a physical register and notify the reuse scheme."""
+        self.regfile.free(preg)
+        self.scheme.on_preg_freed(preg)
+
+    def free_reserved_preg(self, preg):
+        """Release a register previously reserved for a reuse scheme."""
+        self.free_preg(preg)
+
+    # ------------------------------------------------------------------
+    # Writeback
+    # ------------------------------------------------------------------
+    def _writeback_stage(self):
+        done = self._events.pop(self.cycle, None)
+        if not done:
+            return
+        for dyn in done:
+            if dyn.squashed:
+                continue
+            self._writeback_inst(dyn)
+
+    def _writeback_inst(self, dyn):
+        inst = dyn.inst
+        dyn.executed = True
+        if dyn.verify_load:
+            # Value was already delivered at rename; this is verification.
+            if dyn.result != dyn.store_data:
+                # store_data caches the verification re-read (see
+                # _execute_load_verify); mismatch -> flush from this load.
+                self.stats.verify_flushes += 1
+                self.scheme.on_verify_fail(dyn)
+                self._request_squash(_SquashRequest(
+                    dyn.seq - 1, dyn, "verify", dyn.pc))
+            return
+
+        dyn.completed = True
+        if dyn.dest_preg is not None:
+            self.regfile.set_value(dyn.dest_preg, dyn.result)
+            self.int_iq.wakeup(dyn.dest_preg)
+            self.mem_iq.wakeup(dyn.dest_preg)
+
+        if inst.is_branch:
+            self._resolve_branch(dyn)
+        elif inst.is_store:
+            self.scheme.on_store_executed(dyn.mem_addr, dyn.mem_size)
+            violators = self.lsq.find_violations(dyn)
+            if violators:
+                victim = violators[0]
+                self.stats.replay_squashes += 1
+                self._request_squash(_SquashRequest(
+                    victim.seq - 1, victim, "replay", victim.pc))
+
+    def _resolve_branch(self, dyn):
+        if dyn.pred_npc == dyn.actual_npc:
+            return
+        dyn.mispredicted = dyn.pred_npc is not None
+        self._request_squash(_SquashRequest(
+            dyn.seq, dyn, "branch", dyn.actual_npc))
+
+    def _request_squash(self, request):
+        current = self._squash_request
+        if current is None or request.boundary_seq < current.boundary_seq:
+            self._squash_request = request
+
+    # ------------------------------------------------------------------
+    # Execute
+    # ------------------------------------------------------------------
+    def _execute_stage(self):
+        for iq in (self.int_iq, self.mem_iq):
+            issued = iq.take_ready(self.config.width, self.fus.try_take)
+            for dyn in issued:
+                self._execute_inst(dyn)
+
+    def _execute_inst(self, dyn):
+        inst = dyn.inst
+        info = inst.info
+        dyn.issued = True
+        dyn.issue_cycle = self.cycle
+        values = self.regfile.values
+        srcs = [values[p] for p in dyn.srcs_preg]
+        latency = self.fus.latency_of(dyn)
+        op_class = info.op_class
+
+        if op_class is OpClass.BRANCH:
+            latency = self._execute_branch(dyn, srcs)
+        elif op_class is OpClass.LOAD:
+            latency = self._execute_load(dyn, srcs)
+        elif op_class is OpClass.STORE:
+            addr = wrap64(srcs[1] + inst.imm)
+            dyn.mem_addr = addr
+            dyn.mem_size = info.mem_size
+            dyn.store_data = srcs[0] & ((1 << (info.mem_size * 8)) - 1)
+            latency += self.hierarchy.access(addr, is_write=True)
+        else:
+            if info.has_imm:
+                a = srcs[0] if info.num_srcs else 0
+                dyn.result = info.alu_fn(a, to_unsigned(inst.imm)) \
+                    if info.alu_fn else to_unsigned(inst.imm)
+            else:
+                dyn.result = info.alu_fn(srcs[0], srcs[1])
+        self._events.setdefault(self.cycle + latency, []).append(dyn)
+
+    def _execute_branch(self, dyn, srcs):
+        inst = dyn.inst
+        fallthrough = inst.pc + INST_BYTES
+        if inst.op is Op.JAL:
+            dyn.actual_npc = inst.imm
+            dyn.result = fallthrough
+        elif inst.op is Op.JALR:
+            dyn.actual_npc = wrap64(srcs[0] + inst.imm) & ~1
+            dyn.result = fallthrough
+        else:
+            taken = inst.info.branch_fn(srcs[0], srcs[1])
+            dyn.actual_npc = inst.imm if taken else fallthrough
+        return self.config.branch_latency
+
+    def _execute_load(self, dyn, srcs):
+        inst = dyn.inst
+        info = inst.info
+        if dyn.verify_load:
+            addr = dyn.mem_addr  # logged by the reuse scheme
+        else:
+            addr = wrap64(srcs[0] + inst.imm)
+            dyn.mem_addr = addr
+            dyn.mem_size = info.mem_size
+        value, forwarded = self.lsq.speculative_read(addr, info.mem_size,
+                                                     dyn.seq)
+        if inst.op is Op.LW:
+            value = _sext32(value)
+        if dyn.verify_load:
+            # Stash the re-read value for comparison at writeback.
+            dyn.store_data = value
+        else:
+            dyn.result = value
+        if forwarded:
+            return self.config.l1_latency
+        return 1 + self.hierarchy.access(addr)
+
+    # ------------------------------------------------------------------
+    # Rename / dispatch
+    # ------------------------------------------------------------------
+    def _rename_stage(self):
+        cfg = self.config
+        renamed = 0
+        while renamed < cfg.width and self.decode_queue:
+            dyn = self.decode_queue[0]
+            if dyn.fetch_cycle + cfg.frontend_stages > self.cycle:
+                break
+            if not self._has_dispatch_resources(dyn):
+                break
+            self.decode_queue.popleft()
+            self._rename_inst(dyn)
+            self._dispatch_inst(dyn)
+            renamed += 1
+
+    def _has_dispatch_resources(self, dyn):
+        if len(self.rob) >= self.config.rob_entries:
+            return False
+        inst = dyn.inst
+        op_class = inst.info.op_class
+        if op_class in (OpClass.LOAD, OpClass.STORE):
+            if not self.mem_iq.has_space:
+                return False
+            if inst.is_load and self.lsq.lq_free == 0:
+                return False
+            if inst.is_store and self.lsq.sq_free == 0:
+                return False
+        elif op_class not in (OpClass.NOP, OpClass.HALT):
+            if not self.int_iq.has_space:
+                return False
+        if inst.writes_reg and self.regfile.num_free == 0:
+            # Condition (5): reclaim squash-log registers under pressure.
+            if not self.scheme.emergency_release():
+                return False
+            if self.regfile.num_free == 0:
+                return False
+        return True
+
+    def _rename_inst(self, dyn):
+        inst = dyn.inst
+        rat = self.rat
+        dyn.srcs_preg = tuple(rat.lookup(s) for s in inst.srcs)
+        if rat.track_rgids:
+            dyn.src_rgids = tuple(rat.lookup_rgid(s) for s in inst.srcs)
+
+        reused = False
+        if inst.writes_reg and not inst.is_branch and not inst.is_store:
+            result = self.scheme.try_reuse(dyn)
+            if result is not None:
+                self._apply_reuse(dyn, result)
+                reused = True
+        if not reused and inst.writes_reg:
+            if not rat.rename_dest(dyn):
+                raise AssertionError("rename without a free preg")
+        dyn.renamed = True
+        self.scheme.on_rename(dyn, reused)
+
+    def _apply_reuse(self, dyn, result):
+        if result.preg is not None:
+            # Integration-style: adopt the squashed destination register.
+            self.rat.apply_reuse(dyn, result.preg, result.rgid)
+            self.regfile.mark_in_flight(result.preg)
+            dyn.result = self.regfile.values[result.preg]
+        else:
+            # Value-style (DIR): fresh register, stored value.
+            if not self.rat.rename_dest(dyn):
+                raise AssertionError("reuse without a free preg")
+            self.regfile.set_value(dyn.dest_preg, result.value)
+            dyn.result = result.value
+        dyn.reused = True
+        dyn.completed = True
+        dyn.reuse_scheme_tag = result.tag
+        self.stats.reuse_successes += 1
+        if dyn.inst.is_load:
+            self.stats.reused_loads += 1
+            if result.verify_addr is not None:
+                dyn.verify_load = True
+                dyn.mem_addr = result.verify_addr
+                dyn.mem_size = dyn.inst.info.mem_size
+
+    def _dispatch_inst(self, dyn):
+        self.rob.append(dyn)
+        inst = dyn.inst
+        op_class = inst.info.op_class
+        if op_class in (OpClass.NOP, OpClass.HALT):
+            dyn.completed = True
+            dyn.executed = True
+            return
+        if dyn.reused and not dyn.verify_load:
+            dyn.executed = True
+            return
+        if inst.is_load or inst.is_store:
+            self.lsq.allocate(dyn)
+            iq = self.mem_iq
+        else:
+            iq = self.int_iq
+        not_ready = [p for p in set(dyn.srcs_preg)
+                     if not self.regfile.ready[p]]
+        iq.insert(dyn, not_ready)
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+    def _fetch_stage(self):
+        cfg = self.config
+        for _ in range(cfg.fetch_blocks_per_cycle):
+            if len(self.decode_queue) + cfg.fetch_block_insts \
+                    > cfg.decode_queue:
+                return
+            block = self.fetch.fetch_block(self.cycle)
+            if block is None:
+                return
+            self.stats.fetched_insts += block.num_insts
+            self.scheme.on_fetch_block(block)
+            for dyn in block.insts:
+                self.decode_queue.append(dyn)
+
+    # ------------------------------------------------------------------
+    # Squash
+    # ------------------------------------------------------------------
+    def _apply_squash(self, request):
+        boundary = request.boundary_seq
+        if request.trigger.squashed:
+            return  # stale request (should not happen; safety)
+
+        if request.kind == "branch":
+            self.stats.branch_squashes += 1
+
+        # 1. Pop squashed instructions from the ROB (tail first).
+        squashed = []
+        while self.rob and self.rob[-1].seq > boundary:
+            squashed.append(self.rob.pop())
+        # 2. Drop not-yet-renamed instructions from the decode queue.
+        while self.decode_queue and self.decode_queue[-1].seq > boundary:
+            dropped = self.decode_queue.pop()
+            dropped.squashed = True
+        # 3. Roll the RAT back, youngest first.
+        for dyn in squashed:
+            dyn.squashed = True
+            self.rat.rollback(dyn)
+        self.stats.squashed_insts += len(squashed)
+
+        # 4. FTQ: carve out the squashed blocks (for the WPBs). The
+        #    boundary block is split so instructions at or before the
+        #    boundary survive (for replay squashes the trigger itself is
+        #    squashed and refetched).
+        squashed_blocks = self.fetch.squash_ftq_after(
+            request.trigger.block_id, keep_partial_seq=boundary)
+
+        # 5. Reuse-scheme notification *before* registers are freed, so it
+        #    can claim them.
+        squashed_oldest_first = list(reversed(squashed))
+        if request.kind == "branch":
+            self.scheme.on_branch_squash(request.trigger,
+                                         squashed_oldest_first,
+                                         squashed_blocks)
+        else:
+            self.scheme.on_replay_squash(request.trigger)
+
+        # 6. Free or reserve destination registers; drain LSQ/IQ entries.
+        for dyn in squashed:
+            self.lsq.remove(dyn)
+            if dyn.dest_preg is not None:
+                if (request.kind == "branch" and dyn.executed
+                        and not dyn.verify_load
+                        and self.scheme.wants_preg(dyn)):
+                    self.regfile.mark_reserved(dyn.dest_preg)
+                else:
+                    self.free_preg(dyn.dest_preg)
+        self.int_iq.remove_squashed()
+        self.mem_iq.remove_squashed()
+
+        # 7. Repair predictor history and RAS.
+        self._repair_frontend(request, squashed_oldest_first)
+
+        # 8. Redirect fetch.
+        self.fetch.redirect(request.redirect_pc)
+
+    def _repair_frontend(self, request, squashed_oldest_first):
+        trigger = request.trigger
+        if request.kind == "branch" and trigger.inst.is_cond_branch \
+                and trigger.bp_meta is not None:
+            taken = trigger.actual_npc != trigger.pc + INST_BYTES
+            if isinstance(self.predictor, TageSCL):
+                self.predictor.recover_branch(trigger.pc, taken,
+                                              trigger.bp_meta)
+            else:
+                self.predictor.recover(taken, trigger.bp_meta)
+        else:
+            # Replay/verify squash (or jalr): rewind history to the oldest
+            # squashed conditional branch's pre-prediction state.
+            for dyn in squashed_oldest_first:
+                if dyn.bp_meta is not None:
+                    self.predictor.restore_history(dyn.bp_meta.history)
+                    break
+        for dyn in squashed_oldest_first:
+            if dyn.ras_snap is not None:
+                self.ras.restore(dyn.ras_snap)
+                break

@@ -1,0 +1,110 @@
+"""Load/store queues with speculative forwarding and violation detection.
+
+Loads execute speculatively: a load may issue before an older store's
+address is known. The store, when it finally executes, searches the load
+queue for younger already-executed loads on an overlapping address
+(XiangShan-style store-to-load check, Section 3.8.1) and triggers a
+replay squash from the oldest violator. This is the mechanism that also
+punishes over-eager squash reuse of loads (the paper's xz anomaly).
+"""
+
+
+def _overlap(addr_a, size_a, addr_b, size_b):
+    return addr_a < addr_b + size_b and addr_b < addr_a + size_a
+
+
+class LoadStoreQueue:
+    """Combined LQ/SQ keyed by instruction age (seq)."""
+
+    def __init__(self, memory, lq_entries=96, sq_entries=96):
+        self.memory = memory           # committed architectural memory
+        self.lq_entries = lq_entries
+        self.sq_entries = sq_entries
+        self.loads = {}                # seq -> DynInst (allocated at dispatch)
+        self.stores = {}               # seq -> DynInst
+
+    # ------------------------------------------------------------------
+    @property
+    def lq_free(self):
+        return self.lq_entries - len(self.loads)
+
+    @property
+    def sq_free(self):
+        return self.sq_entries - len(self.stores)
+
+    def allocate(self, dyn):
+        if dyn.is_load:
+            self.loads[dyn.seq] = dyn
+        elif dyn.is_store:
+            self.stores[dyn.seq] = dyn
+
+    def remove(self, dyn):
+        self.loads.pop(dyn.seq, None)
+        self.stores.pop(dyn.seq, None)
+
+    # ------------------------------------------------------------------
+    def speculative_read(self, addr, size, seq):
+        """Load value as seen by instruction ``seq``: committed memory
+        patched with all older, already-executed stores (oldest first).
+
+        Stores whose addresses are still unknown are simply skipped —
+        that is the speculation that store-to-load checks later police.
+        """
+        base = addr & ~7
+        word0 = self.memory.read_word(base)
+        word1 = self.memory.read_word(base + 8)
+        # "Issued" is the forwarding horizon: stores latch address and
+        # data the cycle they issue, which is when their bytes become
+        # visible to younger speculative loads.
+        older = [s for s in self.stores.values()
+                 if s.seq < seq and s.issued and s.mem_addr is not None
+                 and not s.squashed
+                 and _overlap(s.mem_addr, s.mem_size, addr, size)]
+        older.sort(key=lambda s: s.seq)
+        forwarded = bool(older)
+        for store in older:
+            word0 = self._patch(word0, base, store)
+            word1 = self._patch(word1, base + 8, store)
+        combined = word0 | (word1 << 64)
+        offset = addr - base
+        value = (combined >> (offset * 8)) & ((1 << (size * 8)) - 1)
+        return value, forwarded
+
+    @staticmethod
+    def _patch(word, word_base, store):
+        lo = max(store.mem_addr, word_base)
+        hi = min(store.mem_addr + store.mem_size, word_base + 8)
+        if lo >= hi:
+            return word
+        for byte_addr in range(lo, hi):
+            byte = (store.store_data >> ((byte_addr - store.mem_addr) * 8)) \
+                & 0xFF
+            shift = (byte_addr - word_base) * 8
+            word = (word & ~(0xFF << shift)) | (byte << shift)
+        return word
+
+    # ------------------------------------------------------------------
+    def find_violations(self, store):
+        """Younger executed loads overlapping a just-executed store.
+
+        Returns them oldest-first; the core replays from the first.
+        """
+        violators = [
+            load for load in self.loads.values()
+            if load.seq > store.seq and load.issued
+            and load.issue_cycle < store.issue_cycle
+            and load.mem_addr is not None
+            and _overlap(load.mem_addr, load.mem_size,
+                         store.mem_addr, store.mem_size)
+            and not load.squashed
+        ]
+        violators.sort(key=lambda d: d.seq)
+        return violators
+
+    def commit_store(self, dyn):
+        """Retire a store: write architectural memory."""
+        self.memory.write(dyn.mem_addr, dyn.store_data, dyn.mem_size)
+        self.stores.pop(dyn.seq, None)
+
+    def commit_load(self, dyn):
+        self.loads.pop(dyn.seq, None)

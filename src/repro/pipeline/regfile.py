@@ -1,0 +1,97 @@
+"""Physical register file and free list with ownership accounting.
+
+Squash reuse keeps squashed instructions' physical registers alive past
+the squash, so register lifetime bugs (leaks, double frees, reuse of a
+live register) are the main correctness hazard of the whole design. The
+free list therefore tracks every register's state and asserts on every
+transition; :meth:`check_conservation` is used by tests and can be run
+periodically in debug mode.
+"""
+
+_FREE = 0
+_IN_FLIGHT = 1   # allocated by a renamed instruction
+_ARCH = 2        # holds a committed architectural value
+_RESERVED = 3    # held by a squash-reuse scheme after its writer squashed
+
+
+class PhysRegFile:
+    """Values + readiness + ownership state for all physical registers."""
+
+    STATE_NAMES = {_FREE: "free", _IN_FLIGHT: "in-flight",
+                   _ARCH: "arch", _RESERVED: "reserved"}
+
+    def __init__(self, num_regs, num_arch_regs):
+        if num_regs <= num_arch_regs:
+            raise ValueError("need more physical than architectural regs")
+        self.num_regs = num_regs
+        self.values = [0] * num_regs
+        self.ready = [False] * num_regs
+        self._state = [_FREE] * num_regs
+        # p0..p(A-1) initially hold the architectural registers.
+        for preg in range(num_arch_regs):
+            self._state[preg] = _ARCH
+            self.ready[preg] = True
+        self._free = list(range(num_arch_regs, num_regs))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_free(self):
+        return len(self._free)
+
+    def allocate(self):
+        """Take a register for a renaming instruction (None if exhausted)."""
+        if not self._free:
+            return None
+        preg = self._free.pop()
+        self._state[preg] = _IN_FLIGHT
+        self.ready[preg] = False
+        return preg
+
+    def free(self, preg):
+        """Return a register to the free list."""
+        if self._state[preg] == _FREE:
+            raise AssertionError("double free of p%d" % preg)
+        self._state[preg] = _FREE
+        self.ready[preg] = False
+        self._free.append(preg)
+
+    # -- state transitions used by rename/commit/squash ------------------
+    def mark_arch(self, preg):
+        """In-flight register becomes architectural (writer committed)."""
+        self._state[preg] = _ARCH
+
+    def mark_in_flight(self, preg):
+        """Reserved register is adopted by a reusing instruction."""
+        self._state[preg] = _IN_FLIGHT
+
+    def mark_reserved(self, preg):
+        """Squashed writer's register is retained by a reuse scheme."""
+        self._state[preg] = _RESERVED
+
+    def state_of(self, preg):
+        return self.STATE_NAMES[self._state[preg]]
+
+    # ------------------------------------------------------------------
+    def set_value(self, preg, value):
+        self.values[preg] = value
+        self.ready[preg] = True
+
+    def check_conservation(self):
+        """Every register is in exactly one state; free list consistent."""
+        free_set = set(self._free)
+        if len(free_set) != len(self._free):
+            raise AssertionError("duplicate entries in free list")
+        for preg in range(self.num_regs):
+            in_list = preg in free_set
+            is_free = self._state[preg] == _FREE
+            if in_list != is_free:
+                raise AssertionError(
+                    "p%d state %s but free-list membership %s"
+                    % (preg, self.state_of(preg), in_list))
+        return True
+
+    def count_states(self):
+        counts = {name: 0 for name in self.STATE_NAMES.values()}
+        for state in self._state:
+            counts[self.STATE_NAMES[state]] += 1
+        return counts

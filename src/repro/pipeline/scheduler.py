@@ -1,0 +1,152 @@
+"""Issue queues, wakeup network and functional-unit ports.
+
+Two reservation-station pools (integer and memory, per Table 3) hold
+dispatched instructions until their source physical registers are ready.
+Wakeup is event-driven: completing instructions broadcast their dest preg
+and dependents' wait counts drop; zero-wait instructions enter the ready
+pool and issue oldest-first subject to per-class port limits.
+"""
+
+from repro.isa.opcodes import OpClass
+
+
+class IssueQueue:
+    """One reservation-station pool."""
+
+    def __init__(self, name, capacity):
+        self.name = name
+        self.capacity = capacity
+        self.size = 0
+        self._waiting = {}    # preg -> [DynInst]
+        self._ready = []      # DynInst with all operands ready
+
+    @property
+    def has_space(self):
+        return self.size < self.capacity
+
+    def insert(self, dyn, not_ready_pregs):
+        """Dispatch ``dyn`` waiting on the given source pregs."""
+        if not self.has_space:
+            raise AssertionError("%s IQ overflow" % self.name)
+        self.size += 1
+        dyn.wait_count = len(not_ready_pregs)
+        if dyn.wait_count == 0:
+            self._ready.append(dyn)
+        else:
+            for preg in not_ready_pregs:
+                self._waiting.setdefault(preg, []).append(dyn)
+
+    def wakeup(self, preg):
+        """Broadcast readiness of ``preg``."""
+        waiters = self._waiting.pop(preg, None)
+        if not waiters:
+            return
+        for dyn in waiters:
+            if dyn.squashed:
+                continue
+            dyn.wait_count -= 1
+            if dyn.wait_count == 0:
+                self._ready.append(dyn)
+
+    def take_ready(self, limit, accept):
+        """Pop up to ``limit`` ready instructions (oldest first) for which
+        ``accept(dyn)`` grants an FU port."""
+        if not self._ready:
+            return []
+        self._ready = [d for d in self._ready if not d.squashed]
+        self._ready.sort(key=lambda d: d.seq)
+        issued = []
+        remaining = []
+        for dyn in self._ready:
+            if len(issued) < limit and accept(dyn):
+                issued.append(dyn)
+                self.size -= 1
+            else:
+                remaining.append(dyn)
+        self._ready = remaining
+        return issued
+
+    def remove_squashed(self):
+        """Reclaim capacity held by squashed instructions (lazy lists are
+        cleaned on their next touch)."""
+        self._ready = [d for d in self._ready if not d.squashed]
+        alive = self._ready_count() + sum(
+            1 for waiters in self._waiting.values()
+            for d in waiters if not d.squashed and d.wait_count > 0)
+        # Waiting lists may hold duplicates of multi-source instructions;
+        # recount precisely via a set.
+        seen = set()
+        count = 0
+        for dyn in self._ready:
+            if dyn.seq not in seen:
+                seen.add(dyn.seq)
+                count += 1
+        for waiters in self._waiting.values():
+            for dyn in waiters:
+                if not dyn.squashed and dyn.seq not in seen:
+                    seen.add(dyn.seq)
+                    count += 1
+        self.size = count
+
+    def _ready_count(self):
+        return len(self._ready)
+
+
+class FunctionUnits:
+    """Per-cycle port accounting for ALU / BRU / LSU plus the unpipelined
+    divider."""
+
+    def __init__(self, config):
+        self.config = config
+        self.div_busy_until = 0
+        self._alu_used = 0
+        self._bru_used = 0
+        self._lsu_used = 0
+        self._cycle = -1
+
+    def new_cycle(self, cycle):
+        self._cycle = cycle
+        self._alu_used = 0
+        self._bru_used = 0
+        self._lsu_used = 0
+
+    def try_take(self, dyn):
+        """Claim a port for ``dyn``; returns False when saturated."""
+        op_class = dyn.inst.info.op_class
+        cfg = self.config
+        if op_class in (OpClass.ALU, OpClass.MUL, OpClass.NOP, OpClass.HALT):
+            if self._alu_used < cfg.num_alu:
+                self._alu_used += 1
+                return True
+            return False
+        if op_class is OpClass.DIV:
+            if self._alu_used < cfg.num_alu and \
+                    self.div_busy_until <= self._cycle:
+                self._alu_used += 1
+                self.div_busy_until = self._cycle + cfg.div_latency
+                return True
+            return False
+        if op_class is OpClass.BRANCH:
+            if self._bru_used < cfg.num_bru:
+                self._bru_used += 1
+                return True
+            return False
+        if op_class in (OpClass.LOAD, OpClass.STORE):
+            if self._lsu_used < cfg.num_lsu:
+                self._lsu_used += 1
+                return True
+            return False
+        raise AssertionError("unknown op class %r" % op_class)
+
+    def latency_of(self, dyn):
+        op_class = dyn.inst.info.op_class
+        cfg = self.config
+        if op_class is OpClass.MUL:
+            return cfg.mul_latency
+        if op_class is OpClass.DIV:
+            return cfg.div_latency
+        if op_class is OpClass.BRANCH:
+            return cfg.branch_latency
+        if op_class is OpClass.STORE:
+            return cfg.store_latency
+        return cfg.alu_latency

@@ -1,0 +1,76 @@
+"""Simulation statistics collected by the core and the reuse schemes."""
+
+
+class SimStats:
+    """Flat counter bag with derived metrics."""
+
+    def __init__(self):
+        self.cycles = 0
+        self.committed_insts = 0
+        self.fetched_insts = 0
+        self.squashed_insts = 0
+
+        self.cond_branches = 0
+        self.cond_mispredicts = 0
+        self.indirect_branches = 0
+        self.indirect_mispredicts = 0
+        self.branch_squashes = 0
+        self.replay_squashes = 0
+        self.verify_flushes = 0
+
+        # Squash reuse
+        self.reuse_tests = 0
+        self.reuse_successes = 0
+        self.reused_loads = 0
+        self.reconvergences = 0
+        self.reconv_simple = 0
+        self.reconv_software = 0
+        self.reconv_hardware = 0
+        self.stream_distance_hist = {}
+        self.rgid_overflows = 0
+        self.rgid_resets = 0
+        self.wpb_timeouts = 0
+        self.squash_log_pressure_frees = 0
+
+        # Register Integration
+        self.ri_insertions = 0
+        self.ri_replacements = 0
+        self.ri_invalidations = 0
+        self.ri_set_replacements = None  # filled by the RI scheme
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self):
+        return self.committed_insts / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_mpki(self):
+        if not self.committed_insts:
+            return 0.0
+        total = self.cond_mispredicts + self.indirect_mispredicts
+        return 1000.0 * total / self.committed_insts
+
+    @property
+    def cond_mispredict_rate(self):
+        if not self.cond_branches:
+            return 0.0
+        return self.cond_mispredicts / self.cond_branches
+
+    def record_stream_distance(self, distance):
+        self.stream_distance_hist[distance] = \
+            self.stream_distance_hist.get(distance, 0) + 1
+
+    def as_dict(self):
+        data = {name: value for name, value in vars(self).items()}
+        data["ipc"] = self.ipc
+        data["branch_mpki"] = self.branch_mpki
+        data["cond_mispredict_rate"] = self.cond_mispredict_rate
+        return data
+
+    def summary(self):
+        return ("cycles=%d insts=%d IPC=%.3f mpki=%.2f "
+                "mispred=%d reuse=%d/%d reconv=%d"
+                % (self.cycles, self.committed_insts, self.ipc,
+                   self.branch_mpki, self.cond_mispredicts,
+                   self.reuse_successes, self.reuse_tests,
+                   self.reconvergences))

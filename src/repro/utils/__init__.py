@@ -1,0 +1,29 @@
+"""Shared low-level helpers: 64-bit integer arithmetic and deterministic RNG."""
+
+from repro.utils.bits import (
+    MASK64,
+    to_signed,
+    to_unsigned,
+    wrap64,
+    sra64,
+    srl64,
+    sll64,
+    div_trunc,
+    rem_trunc,
+    mulh64,
+)
+from repro.utils.rng import XorShift64
+
+__all__ = [
+    "MASK64",
+    "to_signed",
+    "to_unsigned",
+    "wrap64",
+    "sra64",
+    "srl64",
+    "sll64",
+    "div_trunc",
+    "rem_trunc",
+    "mulh64",
+    "XorShift64",
+]

@@ -1,0 +1,82 @@
+"""64-bit two's-complement arithmetic helpers.
+
+All architectural values in the simulator are stored as *unsigned* Python
+ints in ``[0, 2**64)``. These helpers implement the RISC-V-style semantics
+(wrapping arithmetic, truncating division, arithmetic/logical shifts) on
+that representation.
+"""
+
+MASK64 = (1 << 64) - 1
+SIGN_BIT = 1 << 63
+
+
+def wrap64(value):
+    """Reduce an arbitrary Python int to an unsigned 64-bit value."""
+    return value & MASK64
+
+
+def to_signed(value):
+    """Interpret an unsigned 64-bit value as a signed two's-complement int."""
+    value &= MASK64
+    if value & SIGN_BIT:
+        return value - (1 << 64)
+    return value
+
+
+def to_unsigned(value):
+    """Map a signed Python int onto its unsigned 64-bit representation."""
+    return value & MASK64
+
+
+def sll64(value, shamt):
+    """Logical left shift; shift amount uses the low 6 bits (RISC-V SLL)."""
+    return (value << (shamt & 63)) & MASK64
+
+
+def srl64(value, shamt):
+    """Logical right shift on the unsigned representation."""
+    return (value & MASK64) >> (shamt & 63)
+
+
+def sra64(value, shamt):
+    """Arithmetic right shift (sign-extending)."""
+    return to_unsigned(to_signed(value) >> (shamt & 63))
+
+
+def div_trunc(a, b):
+    """Signed division truncating toward zero.
+
+    Follows RISC-V M-extension semantics: division by zero yields -1 and
+    the overflow case INT_MIN / -1 yields INT_MIN.
+    """
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return MASK64  # all ones == -1
+    if sa == -(1 << 63) and sb == -1:
+        return to_unsigned(sa)
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return to_unsigned(q)
+
+
+def rem_trunc(a, b):
+    """Signed remainder matching :func:`div_trunc` (sign of the dividend).
+
+    Division by zero yields the dividend, per RISC-V.
+    """
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return to_unsigned(sa)
+    if sa == -(1 << 63) and sb == -1:
+        return 0
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return to_unsigned(r)
+
+
+def mulh64(a, b):
+    """High 64 bits of the signed 128-bit product."""
+    prod = to_signed(a) * to_signed(b)
+    return to_unsigned(prod >> 64)

@@ -1,0 +1,80 @@
+"""Deterministic pseudo-random number generation.
+
+Workload generation must be reproducible across machines and Python
+versions, so we avoid :mod:`random` and use a fixed xorshift64* generator.
+The same algorithm is also exposed to compiled workloads as the ``hash``
+primitive from Listing 1 of the paper (a cheap pseudo-random hash whose
+output drives hard-to-predict branches).
+"""
+
+from repro.utils.bits import MASK64
+
+
+class XorShift64:
+    """xorshift64* PRNG with a 64-bit state.
+
+    The zero state is invalid for xorshift, so seeds are remapped away
+    from zero deterministically.
+    """
+
+    MULT = 0x2545F4914F6CDD1D
+
+    def __init__(self, seed=0x9E3779B97F4A7C15):
+        seed &= MASK64
+        if seed == 0:
+            seed = 0x9E3779B97F4A7C15
+        self.state = seed
+
+    def next(self):
+        """Advance the state and return the next 64-bit value."""
+        x = self.state
+        x ^= (x >> 12)
+        x ^= (x << 25) & MASK64
+        x ^= (x >> 27)
+        self.state = x
+        return (x * self.MULT) & MASK64
+
+    def randint(self, lo, hi):
+        """Uniform integer in ``[lo, hi]`` (inclusive)."""
+        if hi < lo:
+            raise ValueError("empty range")
+        span = hi - lo + 1
+        return lo + self.next() % span
+
+    def random(self):
+        """Uniform float in ``[0, 1)`` with 53 bits of precision."""
+        return (self.next() >> 11) / float(1 << 53)
+
+    def shuffle(self, items):
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]
+
+    def sample_indices(self, n, k):
+        """Return ``k`` distinct indices from ``range(n)`` (k <= n)."""
+        if k > n:
+            raise ValueError("sample larger than population")
+        chosen = set()
+        out = []
+        while len(out) < k:
+            idx = self.randint(0, n - 1)
+            if idx not in chosen:
+                chosen.add(idx)
+                out.append(idx)
+        return out
+
+
+def mix_hash(value):
+    """Stateless 64-bit mixing hash (splitmix64 finalizer).
+
+    This is the ``hash`` function of Listing 1: fast, stateless, and
+    effectively random in its low bits — ideal for constructing
+    hard-to-predict branch conditions.
+    """
+    value &= MASK64
+    value = (value + 0x9E3779B97F4A7C15) & MASK64
+    z = value
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+    return z ^ (z >> 31)

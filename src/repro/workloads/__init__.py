@@ -1,0 +1,32 @@
+"""Benchmark workloads.
+
+Every workload is a restricted-Python kernel compiled to the simulator
+ISA. Suites mirror the paper's evaluation:
+
+* ``micro``    — the Listing-1 microbenchmarks (nested-/linear-mispred);
+* ``gap``      — bfs, bc, cc, pr, sssp, tc on synthetic graphs
+  (substituting for GAP ``-g 12 -n 128``);
+* ``spec2006`` — astar/gobmk/mcf/omnetpp/perlbench/bzip2-like kernels;
+* ``spec2017`` — leela/xz/deepsjeng/exchange2/omnetpp/mcf-like kernels.
+
+The SPEC-like kernels are *behavioural* stand-ins: each reproduces the
+branch/memory character the paper attributes to its namesake (hash-driven
+hard-to-predict branches, pointer chasing, store-heavy LZ matching, ...),
+not the program itself.
+"""
+
+from repro.workloads.registry import (
+    Workload,
+    get_workload,
+    workload_names,
+    suite_workloads,
+    SUITES,
+)
+
+__all__ = [
+    "Workload",
+    "get_workload",
+    "workload_names",
+    "suite_workloads",
+    "SUITES",
+]

@@ -1,0 +1,9 @@
+"""GAP benchmark suite kernels (bfs, bc, cc, pr, sssp, tc).
+
+Faithful ports of the GAP reference algorithms to the restricted-Python
+DSL, run on small synthetic graphs (substituting for ``-g 12 -n 128``).
+All arithmetic is integer (PageRank and betweenness centrality use
+fixed-point scaling) so the native-Python oracle matches the ISA exactly.
+"""
+
+from repro.workloads.gap import bfs, pr, cc, sssp, bc, tc  # noqa: F401

@@ -1,0 +1,80 @@
+"""GAP bc: Brandes betweenness centrality (fixed-point dependencies).
+
+A BFS forward pass counts shortest paths (sigma), then the backward pass
+accumulates dependencies with 2^12 fixed-point scaling. The scratch
+arrays share one allocation ``work`` addressed with pointer arithmetic
+(dist / sigma / queue / delta planes) to stay within the 8-argument
+calling convention.
+"""
+
+from repro.compiler import array_ref
+from repro.workloads.gap.common import graph_for_scale, module_with_graph, \
+    graph_args
+from repro.workloads.registry import register
+
+
+def bc_kernel(offsets, neighbors, n, work, centrality, source):
+    dist = work
+    sigma = work + n * 8
+    queue = work + n * 16
+    delta = work + n * 24
+    for i in range(n):
+        dist[i] = -1
+        sigma[i] = 0
+        delta[i] = 0
+    dist[source] = 0
+    sigma[source] = 1
+    queue[0] = source
+    head = 0
+    tail = 1
+    while head < tail:
+        u = queue[head]
+        head += 1
+        du = dist[u]
+        start = offsets[u]
+        end = offsets[u + 1]
+        for e in range(start, end):
+            v = neighbors[e]
+            if dist[v] < 0:
+                dist[v] = du + 1
+                queue[tail] = v
+                tail += 1
+            if dist[v] == du + 1:
+                sigma[v] = sigma[v] + sigma[u]
+    # Backward pass in reverse BFS order.
+    for qi in range(tail - 1, -1, -1):
+        u = queue[qi]
+        du = dist[u]
+        start = offsets[u]
+        end = offsets[u + 1]
+        acc = 0
+        for e in range(start, end):
+            v = neighbors[e]
+            if dist[v] == du + 1:
+                if sigma[v] > 0:
+                    acc += sigma[u] * (4096 + delta[v]) // sigma[v]
+        delta[u] = acc
+        if u != source:
+            centrality[u] = centrality[u] + acc
+    checksum = 0
+    for i in range(n):
+        checksum += centrality[i]
+    return checksum + tail
+
+
+def bc_multi(offsets, neighbors, n, work, centrality, num_sources):
+    total = 0
+    for s in range(num_sources):
+        total = bc_kernel(offsets, neighbors, n, work, centrality, s * 7)
+    return total
+
+
+@register("bc", "gap", "Brandes betweenness centrality, 2 sources")
+def build_bc(scale=1.0):
+    graph = graph_for_scale(scale * 0.6, seed=23, skewed=True)
+    mod = module_with_graph(graph, bc_kernel, bc_multi)
+    mod.array("work", graph.num_nodes * 4)
+    mod.array("centrality", graph.num_nodes)
+    prog = mod.build("bc_multi", graph_args() + [
+        graph.num_nodes, array_ref("work"), array_ref("centrality"), 2])
+    return mod, prog

@@ -1,0 +1,41 @@
+"""GAP bfs: top-down breadth-first search building a parent array."""
+
+from repro.compiler import array_ref
+from repro.workloads.gap.common import graph_for_scale, module_with_graph, \
+    graph_args
+from repro.workloads.registry import register
+
+
+def bfs_kernel(offsets, neighbors, n, parent, queue, source):
+    for i in range(n):
+        parent[i] = -1
+    parent[source] = source
+    queue[0] = source
+    head = 0
+    tail = 1
+    while head < tail:
+        u = queue[head]
+        head += 1
+        start = offsets[u]
+        end = offsets[u + 1]
+        for e in range(start, end):
+            v = neighbors[e]
+            if parent[v] < 0:
+                parent[v] = u
+                queue[tail] = v
+                tail += 1
+    checksum = 0
+    for i in range(n):
+        checksum += parent[i]
+    return checksum + tail
+
+
+@register("bfs", "gap", "top-down BFS, frontier queue")
+def build_bfs(scale=1.0):
+    graph = graph_for_scale(scale, seed=11)
+    mod = module_with_graph(graph, bfs_kernel)
+    mod.array("parent", graph.num_nodes)
+    mod.array("queue", graph.num_nodes + 1)
+    prog = mod.build("bfs_kernel", graph_args() + [
+        graph.num_nodes, array_ref("parent"), array_ref("queue"), 0])
+    return mod, prog

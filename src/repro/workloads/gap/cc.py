@@ -1,0 +1,40 @@
+"""GAP cc: connected components via min-label propagation."""
+
+from repro.compiler import array_ref
+from repro.workloads.gap.common import graph_for_scale, module_with_graph, \
+    graph_args
+from repro.workloads.registry import register
+
+
+def cc_kernel(offsets, neighbors, n, comp, max_sweeps):
+    for i in range(n):
+        comp[i] = i
+    changed = 1
+    sweeps = 0
+    while changed and sweeps < max_sweeps:
+        changed = 0
+        sweeps += 1
+        for u in range(n):
+            start = offsets[u]
+            end = offsets[u + 1]
+            cu = comp[u]
+            for e in range(start, end):
+                cv = comp[neighbors[e]]
+                if cv < cu:
+                    cu = cv
+                    changed = 1
+            comp[u] = cu
+    checksum = 0
+    for i in range(n):
+        checksum += comp[i]
+    return checksum + sweeps
+
+
+@register("cc", "gap", "connected components, label propagation")
+def build_cc(scale=1.0):
+    graph = graph_for_scale(scale * 0.8, seed=17)
+    mod = module_with_graph(graph, cc_kernel)
+    mod.array("comp", graph.num_nodes)
+    prog = mod.build("cc_kernel", graph_args() + [
+        graph.num_nodes, array_ref("comp"), 3])
+    return mod, prog

@@ -1,0 +1,27 @@
+"""Shared setup for the GAP kernels."""
+
+from repro.compiler import Module, array_ref
+from repro.workloads.graphs import uniform_random_graph, skewed_graph
+
+
+def graph_for_scale(scale, seed, avg_degree=8, skewed=False):
+    """A deterministic test graph sized by the benchmark scale factor."""
+    num_nodes = max(32, int(192 * scale))
+    maker = skewed_graph if skewed else uniform_random_graph
+    return maker(num_nodes, avg_degree, seed=seed)
+
+
+def module_with_graph(graph, *kernels):
+    """Module preloaded with the CSR arrays of ``graph``."""
+    mod = Module()
+    for kernel in kernels:
+        mod.add_function(kernel)
+    mod.array("offsets", graph.offsets)
+    mod.array("neighbors", graph.neighbors)
+    mod.array("weights", graph.weights)
+    return mod
+
+
+def graph_args():
+    """The standard (offsets, neighbors) argument prefix."""
+    return [array_ref("offsets"), array_ref("neighbors")]

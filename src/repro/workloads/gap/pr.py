@@ -1,0 +1,44 @@
+"""GAP pr: PageRank with fixed-point (2^20) arithmetic."""
+
+from repro.compiler import array_ref
+from repro.workloads.gap.common import graph_for_scale, module_with_graph, \
+    graph_args
+from repro.workloads.registry import register
+
+_SCALE = 1 << 20
+
+
+def pagerank_kernel(offsets, neighbors, n, scores, contrib, iters):
+    init = 1048576 // n
+    for i in range(n):
+        scores[i] = init
+    for it in range(iters):
+        for u in range(n):
+            deg = offsets[u + 1] - offsets[u]
+            if deg > 0:
+                contrib[u] = scores[u] // deg
+            else:
+                contrib[u] = 0
+        base = (1048576 // n) * 15 // 100
+        for u in range(n):
+            total = 0
+            start = offsets[u]
+            end = offsets[u + 1]
+            for e in range(start, end):
+                total += contrib[neighbors[e]]
+            scores[u] = base + total * 85 // 100
+    checksum = 0
+    for i in range(n):
+        checksum += scores[i]
+    return checksum
+
+
+@register("pr", "gap", "PageRank, 3 pull iterations, fixed point")
+def build_pr(scale=1.0):
+    graph = graph_for_scale(scale, seed=13)
+    mod = module_with_graph(graph, pagerank_kernel)
+    mod.array("scores", graph.num_nodes)
+    mod.array("contrib", graph.num_nodes)
+    prog = mod.build("pagerank_kernel", graph_args() + [
+        graph.num_nodes, array_ref("scores"), array_ref("contrib"), 2])
+    return mod, prog

@@ -1,0 +1,43 @@
+"""GAP tc: triangle counting via sorted adjacency-list intersection.
+
+The merge-style intersection is a branch-misprediction magnet: each
+comparison outcome depends on graph data.
+"""
+
+from repro.workloads.gap.common import graph_for_scale, module_with_graph, \
+    graph_args
+from repro.workloads.registry import register
+
+
+def tc_kernel(offsets, neighbors, n):
+    count = 0
+    for u in range(n):
+        ustart = offsets[u]
+        uend = offsets[u + 1]
+        for e in range(ustart, uend):
+            v = neighbors[e]
+            if v > u:
+                a = ustart
+                b = offsets[v]
+                eb = offsets[v + 1]
+                while a < uend and b < eb:
+                    x = neighbors[a]
+                    y = neighbors[b]
+                    if x == y:
+                        if x > v:
+                            count += 1
+                        a += 1
+                        b += 1
+                    elif x < y:
+                        a += 1
+                    else:
+                        b += 1
+    return count
+
+
+@register("tc", "gap", "triangle counting, sorted-list intersection")
+def build_tc(scale=1.0):
+    graph = graph_for_scale(max(0.4, scale * 0.55), seed=29, avg_degree=6)
+    mod = module_with_graph(graph, tc_kernel)
+    prog = mod.build("tc_kernel", graph_args() + [graph.num_nodes])
+    return mod, prog

@@ -1,0 +1,85 @@
+"""Synthetic graph generation in CSR form for the GAP-like kernels.
+
+The GAP suite runs Kronecker graphs (``-g 12``); we generate small
+uniform-random or skewed graphs deterministically with the project PRNG
+and hand the kernels flat CSR arrays (offsets / column indices / weights),
+matching GAP's in-memory layout.
+"""
+
+from repro.utils.rng import XorShift64
+
+
+class CSRGraph:
+    """Compressed-sparse-row directed graph."""
+
+    def __init__(self, num_nodes, offsets, neighbors, weights=None):
+        self.num_nodes = num_nodes
+        self.offsets = offsets          # length num_nodes + 1
+        self.neighbors = neighbors
+        self.weights = weights or [1] * len(neighbors)
+
+    @property
+    def num_edges(self):
+        return len(self.neighbors)
+
+    def out_degree(self, node):
+        return self.offsets[node + 1] - self.offsets[node]
+
+
+def uniform_random_graph(num_nodes, avg_degree, seed=1, symmetric=True,
+                         max_weight=15):
+    """Erdos-Renyi-style graph; symmetric graphs add reverse edges.
+
+    Adjacency lists are sorted and deduplicated (GAP does the same),
+    which the triangle-counting kernel relies on.
+    """
+    rng = XorShift64(seed)
+    adjacency = [set() for _ in range(num_nodes)]
+    num_edges = num_nodes * avg_degree // (2 if symmetric else 1)
+    for _ in range(num_edges):
+        u = rng.randint(0, num_nodes - 1)
+        v = rng.randint(0, num_nodes - 1)
+        if u == v:
+            continue
+        adjacency[u].add(v)
+        if symmetric:
+            adjacency[v].add(u)
+    return _to_csr(adjacency, rng, max_weight)
+
+
+def skewed_graph(num_nodes, avg_degree, seed=1, symmetric=True,
+                 max_weight=15):
+    """Preferential-attachment-flavoured graph (Kronecker substitute):
+    endpoint choice is biased toward low node ids, giving a heavy-tailed
+    degree distribution like GAP's Kronecker inputs."""
+    rng = XorShift64(seed)
+    adjacency = [set() for _ in range(num_nodes)]
+    num_edges = num_nodes * avg_degree // (2 if symmetric else 1)
+    for _ in range(num_edges):
+        u = _skewed_pick(rng, num_nodes)
+        v = rng.randint(0, num_nodes - 1)
+        if u == v:
+            continue
+        adjacency[u].add(v)
+        if symmetric:
+            adjacency[v].add(u)
+    return _to_csr(adjacency, rng, max_weight)
+
+
+def _skewed_pick(rng, num_nodes):
+    # Min of two uniform draws skews mass toward small ids.
+    a = rng.randint(0, num_nodes - 1)
+    b = rng.randint(0, num_nodes - 1)
+    return min(a, b)
+
+
+def _to_csr(adjacency, rng, max_weight):
+    offsets = [0]
+    neighbors = []
+    weights = []
+    for node_adj in adjacency:
+        for dst in sorted(node_adj):
+            neighbors.append(dst)
+            weights.append(rng.randint(1, max_weight))
+        offsets.append(len(neighbors))
+    return CSRGraph(len(adjacency), offsets, neighbors, weights)

@@ -1,0 +1,75 @@
+"""Workload registry: lazy construction and caching of compiled programs."""
+
+
+class Workload:
+    """A named, parameterised benchmark.
+
+    ``builder(scale)`` returns a ready :class:`~repro.compiler.Module`
+    with ``build()`` already called (so ``run_native`` works); the
+    registry caches the compiled program per (name, scale).
+    """
+
+    def __init__(self, name, suite, builder, description=""):
+        self.name = name
+        self.suite = suite
+        self.builder = builder
+        self.description = description
+        self._cache = {}
+
+    def build(self, scale=1.0):
+        """Returns ``(module, program)`` for the given scale factor."""
+        key = round(float(scale), 6)
+        if key not in self._cache:
+            module, program = self.builder(scale)
+            self._cache[key] = (module, program)
+        return self._cache[key]
+
+    def __repr__(self):
+        return "<Workload %s/%s>" % (self.suite, self.name)
+
+
+_REGISTRY = {}
+
+#: Suite name -> ordered workload names (populated by register()).
+SUITES = {"micro": [], "gap": [], "spec2006": [], "spec2017": []}
+
+
+def register(name, suite, description=""):
+    """Decorator registering a builder function as a workload."""
+    def wrap(builder):
+        if name in _REGISTRY:
+            raise ValueError("duplicate workload %r" % name)
+        _REGISTRY[name] = Workload(name, suite, builder, description)
+        SUITES[suite].append(name)
+        return builder
+    return wrap
+
+
+def _ensure_loaded():
+    # Import side effects populate the registry.
+    from repro.workloads import microbench, gap, spec2006, spec2017  # noqa
+
+
+def get_workload(name):
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError("unknown workload %r (have: %s)"
+                       % (name, ", ".join(sorted(_REGISTRY)))) from None
+
+
+def workload_names():
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def suite_workloads(suite):
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in SUITES[suite]]
+
+
+def suite_names(suite):
+    """Workload names in a suite (loads the registry if needed)."""
+    _ensure_loaded()
+    return list(SUITES[suite])

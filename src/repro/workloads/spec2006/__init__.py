@@ -1,0 +1,10 @@
+"""SPECint2006-like kernels.
+
+Each kernel is a behavioural stand-in for the benchmark the paper
+evaluates (those with >3% branch misprediction): the same *kind* of
+hard-to-predict control flow, not the same program. See each module's
+docstring for what is being mimicked.
+"""
+
+from repro.workloads.spec2006 import astar, gobmk, mcf, omnetpp, \
+    perlbench, bzip2  # noqa: F401

@@ -1,0 +1,66 @@
+"""bzip2-like: run-length encoding + move-to-front transform.
+
+Compression kernels branch on every input byte (run detection, MTF
+search position) with data-dependent outcomes."""
+
+from repro.compiler import Module, array_ref
+from repro.workloads.registry import register
+
+
+def bzip2_kernel(data, mtf, out, length):
+    for i in range(64):
+        mtf[i] = i
+    run = 0
+    prev = -1
+    out_pos = 0
+    checksum = 0
+    for i in range(length):
+        ch = data[i]
+        if ch == prev:
+            run += 1
+            if run == 4:
+                out[out_pos & 1023] = 255
+                out_pos += 1
+                run = 0
+        else:
+            run = 0
+            prev = ch
+            # Move-to-front: find ch's position, shift, emit position.
+            pos = 0
+            while mtf[pos] != ch:
+                pos += 1
+            j = pos
+            while j > 0:
+                mtf[j] = mtf[j - 1]
+                j -= 1
+            mtf[0] = ch
+            out[out_pos & 1023] = pos
+            out_pos += 1
+            checksum = (checksum * 31 + pos) & 1048575
+    return checksum + out_pos
+
+
+@register("bzip2", "spec2006", "RLE + move-to-front transform")
+def build_bzip2(scale=1.0):
+    length = max(256, int(600 * scale))
+    from repro.utils.rng import mix_hash
+    # Skewed byte distribution (realistic text-ish) with runs; mostly
+    # small symbols so move-to-front scans stay short, as on real text.
+    data = []
+    i = 0
+    while len(data) < length:
+        draw = mix_hash(i)
+        byte = draw % 8 if draw % 4 else draw // 5 % 64
+        repeat = 1 + (mix_hash(i + 1) % 4)
+        for _ in range(repeat):
+            if len(data) < length:
+                data.append(byte)
+        i += 2
+    mod = Module()
+    mod.add_function(bzip2_kernel)
+    mod.array("data", data)
+    mod.array("mtf", 64)
+    mod.array("out", 1024)
+    prog = mod.build("bzip2_kernel", [
+        array_ref("data"), array_ref("mtf"), array_ref("out"), length])
+    return mod, prog

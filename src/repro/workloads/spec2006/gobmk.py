@@ -1,0 +1,69 @@
+"""gobmk-like: Go board pattern evaluation.
+
+gobmk's branch behaviour is dominated by cascaded data-dependent pattern
+tests over board positions. We fill a 19x19 board with hash-random
+stones and run a liberty/pattern scorer whose nested conditionals are
+all data-dependent.
+"""
+
+from repro.compiler import Module, array_ref, hash64
+from repro.workloads.registry import register
+
+_DIM = 19
+_CELLS = _DIM * _DIM
+
+
+def gobmk_kernel(board, n, rounds):
+    score = 0
+    for r in range(rounds):
+        # Mutate a slice of the board pseudo-randomly.
+        for k in range(32):
+            pos = (hash64(r * 32 + k) & 65535) % n
+            board[pos] = (hash64(pos + r) & 255) % 3  # empty/black/white
+        # Evaluate every interior point with branchy pattern checks.
+        for y in range(1, 18):
+            for x in range(1, 18):
+                p = y * 19 + x
+                me = board[p]
+                if me != 0:
+                    up = board[p - 19]
+                    down = board[p + 19]
+                    left = board[p - 1]
+                    right = board[p + 1]
+                    liberties = 0
+                    if up == 0:
+                        liberties += 1
+                    if down == 0:
+                        liberties += 1
+                    if left == 0:
+                        liberties += 1
+                    if right == 0:
+                        liberties += 1
+                    if liberties == 0:
+                        score += 8
+                    elif liberties == 1:
+                        if up == me or down == me:
+                            score += 4
+                        else:
+                            score += 2
+                    elif liberties >= 3:
+                        score -= 1
+                    if up == me and down == me:
+                        score += 3
+                    if left == me and right == me:
+                        score += 3
+                    if up != me and down != me and left != me \
+                            and right != me:
+                        score -= 2
+    return score
+
+
+@register("gobmk", "spec2006", "Go board pattern/liberty evaluation")
+def build_gobmk(scale=1.0):
+    mod = Module()
+    mod.add_function(gobmk_kernel)
+    mod.array("board", _CELLS)
+    rounds = max(1, int(4 * scale))
+    prog = mod.build("gobmk_kernel",
+                     [array_ref("board"), _CELLS, rounds])
+    return mod, prog

@@ -1,0 +1,42 @@
+"""mcf-like: cost-comparison pointer chasing over a large arc array.
+
+mcf is memory-latency-bound: its network-simplex pricing walks large arc
+arrays with data-dependent cost branches. We chase hash-scattered
+indices across an array sized well past the L1 so most loads hit L2 (the
+paper observes mcf barely benefits from squash reuse because cache
+misses dominate)."""
+
+from repro.compiler import Module, array_ref, hash64
+from repro.workloads.registry import register
+
+
+def mcf_kernel(arcs, n, steps, seed):
+    node = seed & (n - 1)
+    total = 0
+    basis = 0
+    for i in range(steps):
+        value = arcs[node]
+        reduced = value - basis
+        if reduced < 0:
+            basis = basis - (reduced >> 3)
+            total += 1
+            arcs[node] = value + 3
+        elif reduced > 100:
+            basis += 2
+            arcs[node] = value - 1
+        nxt = (node * 1103515245 + 12345) & (n - 1)
+        if value & 1:
+            nxt = (nxt + hash64(i) ) & (n - 1)
+        node = nxt
+    return total + basis
+
+
+@register("mcf", "spec2006", "pointer-chasing arc pricing, L2-resident")
+def build_mcf(scale=1.0):
+    n = 1 << 14  # 16k words = 128KB > L1
+    mod = Module()
+    mod.add_function(mcf_kernel)
+    mod.array("arcs", [((i * 2654435761) % 199) - 60 for i in range(n)])
+    steps = max(200, int(1800 * scale))
+    prog = mod.build("mcf_kernel", [array_ref("arcs"), n, steps, 7])
+    return mod, prog

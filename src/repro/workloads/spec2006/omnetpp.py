@@ -1,0 +1,80 @@
+"""omnetpp-like: discrete event simulation on a binary heap.
+
+omnetpp's future-event-set heap produces deep chains of data-dependent
+comparisons; each event processed here schedules 0-2 hash-random future
+events. The paper finds omnetpp memory-bound with limited reuse benefit
+and a large share of multi-stream reconvergence (Figure 4)."""
+
+from repro.compiler import Module, array_ref, hash64
+from repro.workloads.registry import register
+
+
+def omnetpp_kernel(heap, events, cap):
+    # heap holds event times; process `events` events.
+    heap[0] = 10
+    size = 1
+    clock = 0
+    processed = 0
+    seed = 0
+    while size > 0 and processed < events:
+        processed += 1
+        clock = heap[0]
+        size -= 1
+        heap[0] = heap[size]
+        pos = 0
+        while 1:
+            child = pos * 2 + 1
+            if child >= size:
+                break
+            if child + 1 < size:
+                if heap[child + 1] < heap[child]:
+                    child += 1
+            if heap[child] < heap[pos]:
+                tmp = heap[pos]
+                heap[pos] = heap[child]
+                heap[child] = tmp
+                pos = child
+            else:
+                break
+        # Schedule follow-up events depending on random event kind.
+        seed = hash64(clock + processed)
+        kind = seed & 3
+        if kind != 0 and size < cap - 2:
+            delay = (seed >> 4) & 63
+            heap[size] = clock + delay + 1
+            pos = size
+            size += 1
+            while pos > 0:
+                parent = (pos - 1) // 2
+                if heap[pos] < heap[parent]:
+                    tmp = heap[pos]
+                    heap[pos] = heap[parent]
+                    heap[parent] = tmp
+                    pos = parent
+                else:
+                    break
+            if kind >= 2:
+                heap[size] = clock + ((seed >> 12) & 127) + 2
+                pos = size
+                size += 1
+                while pos > 0:
+                    parent = (pos - 1) // 2
+                    if heap[pos] < heap[parent]:
+                        tmp = heap[pos]
+                        heap[pos] = heap[parent]
+                        heap[parent] = tmp
+                        pos = parent
+                    else:
+                        break
+    return clock + processed
+
+
+@register("omnetpp", "spec2006", "discrete-event simulation heap")
+def build_omnetpp(scale=1.0):
+    cap = 4096
+    mod = Module()
+    mod.add_function(omnetpp_kernel)
+    mod.array("heap", cap)
+    events = max(50, int(250 * scale))
+    prog = mod.build("omnetpp_kernel", [array_ref("heap"), events, cap])
+    return mod, prog

@@ -1,0 +1,68 @@
+"""perlbench-like: byte-stream tokeniser with a branchy dispatch ladder.
+
+Interpreter-style workloads spend their time in unpredictable dispatch
+over input characters; we scan a hash-random byte stream classifying
+characters through an if-ladder and maintaining tokeniser state."""
+
+from repro.compiler import Module, array_ref, hash64
+from repro.workloads.registry import register
+
+
+def perlbench_kernel(text, counts, length):
+    state = 0
+    tokens = 0
+    depth = 0
+    for i in range(length):
+        ch = text[i]
+        if ch < 26:            # letter
+            if state == 0:
+                state = 1
+                tokens += 1
+            counts[0] = counts[0] + 1
+        elif ch < 36:          # digit
+            if state == 1:
+                state = 2
+            elif state == 0:
+                state = 3
+                tokens += 1
+            counts[1] = counts[1] + 1
+        elif ch < 40:          # quote-ish
+            if state == 4:
+                state = 0
+                tokens += 1
+            else:
+                state = 4
+            counts[2] = counts[2] + 1
+        elif ch < 44:          # open bracket
+            depth += 1
+            counts[3] = counts[3] + 1
+        elif ch < 48:          # close bracket
+            if depth > 0:
+                depth -= 1
+            else:
+                tokens -= 1
+            counts[4] = counts[4] + 1
+        elif ch < 52:          # operator
+            if state == 2 or state == 3:
+                tokens += 1
+            state = 0
+            counts[5] = counts[5] + 1
+        else:                  # whitespace / other
+            if state != 0 and state != 4:
+                state = 0
+            counts[6] = counts[6] + 1
+    return tokens * 100 + depth + state
+
+
+@register("perlbench", "spec2006", "tokeniser dispatch ladder")
+def build_perlbench(scale=1.0):
+    length = max(256, int(3000 * scale))
+    from repro.utils.rng import mix_hash
+    text = [mix_hash(i) % 64 for i in range(length)]
+    mod = Module()
+    mod.add_function(perlbench_kernel)
+    mod.array("text", text)
+    mod.array("counts", 8)
+    prog = mod.build("perlbench_kernel",
+                     [array_ref("text"), array_ref("counts"), length])
+    return mod, prog

@@ -1,0 +1,4 @@
+"""SPECint2017-like kernels (see :mod:`repro.workloads.spec2006`)."""
+
+from repro.workloads.spec2017 import leela, xz, deepsjeng, exchange2, \
+    omnetpp17, mcf17  # noqa: F401

@@ -1,0 +1,43 @@
+"""deepsjeng-like: recursive alpha-beta search on a hash game tree.
+
+Chess search branches on move ordering and cutoffs, both data-dependent.
+The kernel is a genuine recursive negamax (exercising the call stack,
+RAS and deep speculation) over a deterministic hash-generated tree."""
+
+from repro.compiler import Module, hash64
+from repro.workloads.registry import register
+
+
+def negamax(node, depth, alpha, beta):
+    if depth == 0:
+        return (hash64(node) & 255) - 128
+    h = hash64(node * 31 + depth)
+    num_moves = 2 + (h & 3)
+    best = -100000
+    for m in range(num_moves):
+        child = node * 8 + m + 1
+        score = 0 - negamax(child, depth - 1, 0 - beta, 0 - alpha)
+        if score > best:
+            best = score
+        if best > alpha:
+            alpha = best
+        if alpha >= beta:
+            break
+    return best
+
+
+def deepsjeng_kernel(positions, depth):
+    total = 0
+    for p in range(positions):
+        total += negamax(hash64(p) & 4095, depth, -100000, 100000)
+    return total
+
+
+@register("deepsjeng", "spec2017", "recursive alpha-beta tree search")
+def build_deepsjeng(scale=1.0):
+    mod = Module()
+    mod.add_function(negamax)
+    mod.add_function(deepsjeng_kernel)
+    positions = max(1, int(2 * scale))
+    prog = mod.build("deepsjeng_kernel", [positions, 5])
+    return mod, prog

@@ -1,0 +1,58 @@
+"""exchange2-like: backtracking constraint solver (mini-sudoku flavour).
+
+exchange2 generates sudoku puzzles by recursive backtracking; its
+branches (constraint checks, dead-end detection) are data-dependent. We
+solve a row/column-constraint placement puzzle on a 6x6 board by
+recursive backtracking with hash-randomised value order."""
+
+from repro.compiler import Module, array_ref, hash64
+from repro.workloads.registry import register
+
+_N = 6
+
+
+def place(board, used_row, used_col, cell, salt):
+    if cell == 36:
+        return 1
+    row = cell // 6
+    col = cell % 6
+    solutions = 0
+    start = (hash64(cell + salt) & 255) % 6
+    for k in range(6):
+        value = (start + k) % 6
+        bit = 1 << value
+        if (used_row[row] & bit) == 0 and (used_col[col] & bit) == 0:
+            board[cell] = value
+            used_row[row] = used_row[row] | bit
+            used_col[col] = used_col[col] | bit
+            solutions += place(board, used_row, used_col, cell + 1, salt)
+            used_row[row] = used_row[row] & ~bit
+            used_col[col] = used_col[col] & ~bit
+            if solutions >= 2:
+                break
+    return solutions
+
+
+def exchange2_kernel(board, used_row, used_col, puzzles):
+    total = 0
+    for p in range(puzzles):
+        for i in range(6):
+            used_row[i] = 0
+            used_col[i] = 0
+        total += place(board, used_row, used_col, 0, p * 97)
+    return total
+
+
+@register("exchange2", "spec2017", "backtracking constraint solver")
+def build_exchange2(scale=1.0):
+    mod = Module()
+    mod.add_function(place)
+    mod.add_function(exchange2_kernel)
+    mod.array("board", _N * _N)
+    mod.array("used_row", _N)
+    mod.array("used_col", _N)
+    puzzles = max(1, int(3 * scale))
+    prog = mod.build("exchange2_kernel", [
+        array_ref("board"), array_ref("used_row"), array_ref("used_col"),
+        puzzles])
+    return mod, prog

@@ -1,0 +1,67 @@
+"""leela-like: Monte-Carlo playout move selection.
+
+leela (Go engine) interleaves pseudo-random move generation with
+legality and capture checks — branchy and hash-driven. The paper's
+largest SPECint2017 gain is on leela."""
+
+from repro.compiler import Module, array_ref, hash64
+from repro.workloads.registry import register
+
+_DIM = 13
+_CELLS = _DIM * _DIM
+
+
+def leela_kernel(board, n, playouts, moves_per_playout):
+    wins = 0
+    for p in range(playouts):
+        for i in range(n):
+            board[i] = 0
+        color = 1
+        score = 0
+        for m in range(moves_per_playout):
+            r = hash64(p * 1024 + m) & ((1 << 60) - 1)
+            pos = r % n
+            tries = 0
+            while board[pos] != 0 and tries < 4:
+                pos = (pos + (r & 15) + 1) % n
+                tries += 1
+            if board[pos] == 0:
+                board[pos] = color
+                # Capture-ish check on the four neighbours.
+                gained = 0
+                if pos >= 13:
+                    if board[pos - 13] == 0 - color:
+                        if (r >> 8) & 3 == 0:
+                            board[pos - 13] = 0
+                            gained += 1
+                if pos < n - 13:
+                    if board[pos + 13] == 0 - color:
+                        if (r >> 10) & 3 == 0:
+                            board[pos + 13] = 0
+                            gained += 1
+                if pos % 13 != 0:
+                    if board[pos - 1] == 0 - color:
+                        if (r >> 12) & 3 == 0:
+                            board[pos - 1] = 0
+                            gained += 1
+                if pos % 13 != 12:
+                    if board[pos + 1] == 0 - color:
+                        if (r >> 14) & 3 == 0:
+                            board[pos + 1] = 0
+                            gained += 1
+                score += gained * color
+            color = 0 - color
+        if score > 0:
+            wins += 1
+    return wins * 1000 + (score & 255)
+
+
+@register("leela", "spec2017", "Monte-Carlo Go playouts")
+def build_leela(scale=1.0):
+    mod = Module()
+    mod.add_function(leela_kernel)
+    mod.array("board", _CELLS)
+    playouts = max(2, int(6 * scale))
+    prog = mod.build("leela_kernel",
+                     [array_ref("board"), _CELLS, playouts, 90])
+    return mod, prog

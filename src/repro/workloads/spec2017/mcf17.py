@@ -1,0 +1,41 @@
+"""mcf (2017)-like: pointer chasing with augmenting-path bookkeeping.
+
+Variant of the 2006 kernel with a second dependent walk (simulating
+mcf_r's larger working set and dual-array access pattern)."""
+
+from repro.compiler import Module, array_ref, hash64
+from repro.workloads.registry import register
+
+
+def mcf17_kernel(arcs, costs, n, steps, seed):
+    node = seed & (n - 1)
+    flow = 0
+    potential = 0
+    for i in range(steps):
+        arc = arcs[node]
+        cost = costs[arc & (n - 1)]
+        reduced = cost - potential
+        if reduced < 0:
+            flow += 1
+            potential -= reduced >> 2
+            costs[arc & (n - 1)] = cost + 2
+        elif reduced > 64:
+            potential += 3
+        if arc & 1:
+            node = (node + (arc >> 1)) & (n - 1)
+        else:
+            node = hash64(node + i) & (n - 1)
+    return flow * 1000 + (potential & 4095)
+
+
+@register("mcf17", "spec2017", "dual-array pointer chasing")
+def build_mcf17(scale=1.0):
+    n = 1 << 14
+    mod = Module()
+    mod.add_function(mcf17_kernel)
+    mod.array("arcs", [(i * 2654435761) % (1 << 15) for i in range(n)])
+    mod.array("costs", [((i * 40503) % 211) - 70 for i in range(n)])
+    steps = max(200, int(1500 * scale))
+    prog = mod.build("mcf17_kernel", [
+        array_ref("arcs"), array_ref("costs"), n, steps, 3])
+    return mod, prog

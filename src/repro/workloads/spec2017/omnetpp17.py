@@ -1,0 +1,74 @@
+"""omnetpp (2017)-like: event-simulation variant with message queues.
+
+Same future-event-set structure as the 2006 kernel but with per-module
+message counters and a different scheduling mix, standing in for the
+larger 2017 input."""
+
+from repro.compiler import Module, array_ref, hash64
+from repro.workloads.registry import register
+
+
+def omnetpp17_kernel(heap, modules, events, cap, nmods):
+    heap[0] = 1
+    size = 1
+    clock = 0
+    processed = 0
+    while size > 0 and processed < events:
+        processed += 1
+        item = heap[0]
+        clock = item >> 8
+        module = item & 255
+        size -= 1
+        heap[0] = heap[size]
+        pos = 0
+        while 1:
+            child = pos * 2 + 1
+            if child >= size:
+                break
+            if child + 1 < size:
+                if heap[child + 1] < heap[child]:
+                    child += 1
+            if heap[child] < heap[pos]:
+                tmp = heap[pos]
+                heap[pos] = heap[child]
+                heap[child] = tmp
+                pos = child
+            else:
+                break
+        modules[module % nmods] = modules[module % nmods] + 1
+        r = hash64(item + processed)
+        fanout = r & 3
+        for f in range(fanout):
+            if size < cap - 1:
+                delay = ((r >> (8 + f * 6)) & 63) + 1
+                target = (module + f + 1) % nmods
+                heap[size] = ((clock + delay) << 8) | target
+                pos = size
+                size += 1
+                while pos > 0:
+                    parent = (pos - 1) // 2
+                    if heap[pos] < heap[parent]:
+                        tmp = heap[pos]
+                        heap[pos] = heap[parent]
+                        heap[parent] = tmp
+                        pos = parent
+                    else:
+                        break
+    checksum = 0
+    for i in range(nmods):
+        checksum += modules[i] * (i + 1)
+    return checksum + clock
+
+
+@register("omnetpp17", "spec2017", "event simulation with module queues")
+def build_omnetpp17(scale=1.0):
+    cap = 4096
+    nmods = 32
+    mod = Module()
+    mod.add_function(omnetpp17_kernel)
+    mod.array("heap", cap)
+    mod.array("modules", nmods)
+    events = max(40, int(160 * scale))
+    prog = mod.build("omnetpp17_kernel", [
+        array_ref("heap"), array_ref("modules"), events, cap, nmods])
+    return mod, prog

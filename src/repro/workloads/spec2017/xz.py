@@ -1,0 +1,65 @@
+"""xz-like: LZ77 match finding with hash heads and window stores.
+
+The defining behaviour the paper observes on xz: squash reuse of *loads*
+is punished because stores to recently-read window locations create
+memory-order violations, triggering verification flushes. This kernel
+reproduces that store/load interleaving: every position stores into the
+hash-head table and the window that subsequent (reusable) loads read."""
+
+from repro.compiler import Module, array_ref, hash64
+from repro.workloads.registry import register
+
+
+def xz_kernel(data, heads, window, length):
+    matched = 0
+    literals = 0
+    pos = 0
+    while pos < length - 4:
+        a = data[pos]
+        b = data[pos + 1]
+        c = data[pos + 2]
+        h = ((a * 33 + b) * 33 + c) & 511
+        cand = heads[h]
+        heads[h] = pos
+        window[pos & 1023] = a
+        best = 0
+        if cand >= 0 and pos - cand < 1024:
+            # Try to extend the match through the window.
+            k = 0
+            while k < 16 and pos + k < length:
+                if window[(cand + k) & 1023] != data[pos + k]:
+                    break
+                k += 1
+            best = k
+        if best >= 3:
+            matched += best
+            pos += best
+        else:
+            literals += 1
+            pos += 1
+    return matched * 1000 + literals
+
+
+@register("xz", "spec2017", "LZ77 match finder, store-heavy window")
+def build_xz(scale=1.0):
+    length = max(256, int(1200 * scale))
+    from repro.utils.rng import mix_hash
+    # Compressible-ish data: repeated motifs with noise.
+    data = []
+    i = 0
+    while len(data) < length:
+        if mix_hash(i) % 3 == 0:
+            for k in range(6):
+                if len(data) < length:
+                    data.append((i + k) % 17)
+        else:
+            data.append(mix_hash(i) % 251)
+        i += 1
+    mod = Module()
+    mod.add_function(xz_kernel)
+    mod.array("data", data)
+    mod.array("heads", [-1] * 512)
+    mod.array("window", 1024)
+    prog = mod.build("xz_kernel", [
+        array_ref("data"), array_ref("heads"), array_ref("window"), length])
+    return mod, prog

@@ -1,0 +1,161 @@
+"""Assembler: builder API, text syntax, labels, pseudo-instructions."""
+
+import pytest
+
+from repro.isa import Assembler, AsmError, assemble_text, Op
+from repro.emu import Emulator
+from repro.utils.bits import to_signed
+
+
+def test_forward_and_backward_labels(asm):
+    asm.li("t0", 3)
+    asm.label("back")
+    asm.addi("t0", "t0", -1)
+    asm.bnez("t0", "back")
+    asm.j("fwd")
+    asm.li("t1", 99)   # skipped
+    asm.label("fwd")
+    asm.halt()
+    prog = asm.finish()
+    result = Emulator(prog).run()
+    assert result.reg("t0") == 0
+    assert result.reg("t1") == 0
+
+
+def test_unresolved_label_raises(asm):
+    asm.j("nowhere")
+    with pytest.raises(AsmError):
+        asm.finish()
+
+
+def test_duplicate_label_raises(asm):
+    asm.label("here")
+    asm.nop()
+    with pytest.raises(AsmError):
+        asm.label("here")
+
+
+def test_store_operand_order(asm):
+    addr = asm.word("slot")
+    asm.li("t0", 0xAB)
+    asm.li("t1", addr)
+    asm.sd("t0", "t1", 0)   # value, base
+    asm.halt()
+    result = Emulator(asm.finish()).run()
+    assert result.memory.read(addr, 8) == 0xAB
+
+
+def test_pseudo_instructions(asm):
+    asm.li("t0", -5)
+    asm.neg("t1", "t0")           # 5
+    asm.not_("t2", "zero")        # -1
+    asm.seqz("t3", "zero")        # 1
+    asm.snez("t4", "t0")          # 1
+    asm.mv("t5", "t1")
+    asm.halt()
+    result = Emulator(asm.finish()).run()
+    assert to_signed(result.reg("t0")) == -5
+    assert result.reg("t1") == 5
+    assert to_signed(result.reg("t2")) == -1
+    assert result.reg("t3") == 1
+    assert result.reg("t4") == 1
+    assert result.reg("t5") == 5
+
+
+def test_call_ret(asm):
+    asm.li("a0", 10)
+    asm.call("double")
+    asm.mv("s0", "a0")
+    asm.halt()
+    asm.label("double")
+    asm.add("a0", "a0", "a0")
+    asm.ret()
+    result = Emulator(asm.finish()).run()
+    assert result.reg("s0") == 20
+
+
+def test_bgt_ble(asm):
+    asm.li("t0", 5)
+    asm.li("t1", 3)
+    asm.li("s0", 0)
+    asm.bgt("t0", "t1", "over")
+    asm.li("s0", 99)
+    asm.label("over")
+    asm.ble("t1", "t0", "under")
+    asm.li("s1", 99)
+    asm.label("under")
+    asm.halt()
+    result = Emulator(asm.finish()).run()
+    assert result.reg("s0") == 0
+    assert result.reg("s1") == 0
+
+
+def test_text_assembler_full_program():
+    prog = assemble_text("""
+        # sum the array
+        .word data 4 5 6
+        la a0, data
+        li t0, 0        # index
+        li t1, 0        # sum
+    loop:
+        slli t2, t0, 3
+        add t2, a0, t2
+        ld t3, 0(t2)
+        add t1, t1, t3
+        addi t0, t0, 1
+        li t4, 3
+        blt t0, t4, loop
+        halt
+    """)
+    result = Emulator(prog).run()
+    assert result.reg("t1") == 15
+
+
+def test_text_assembler_memory_operands():
+    prog = assemble_text("""
+        .space buf 16
+        la a0, buf
+        li t0, 0x1122
+        sd t0, 8(a0)
+        ld t1, 8(a0)
+        sw t0, 0(a0)
+        lw t2, 0(a0)
+        sb t0, 4(a0)
+        lbu t3, 4(a0)
+        halt
+    """)
+    result = Emulator(prog).run()
+    assert result.reg("t1") == 0x1122
+    assert result.reg("t2") == 0x1122
+    assert result.reg("t3") == 0x22
+
+
+def test_text_assembler_bad_mnemonic():
+    with pytest.raises(AsmError):
+        assemble_text("frobnicate t0, t1")
+
+
+def test_text_assembler_reports_line_numbers():
+    try:
+        assemble_text("nop\nbogus x, y\n")
+    except AsmError as exc:
+        assert "line 2" in str(exc)
+    else:
+        raise AssertionError("expected AsmError")
+
+
+def test_emit_wrong_arity(asm):
+    with pytest.raises(AsmError):
+        asm.emit(Op.ADD, dest="t0", srcs=("t1",))
+
+
+def test_data_symbols(asm):
+    a = asm.word_array("a", [1, 2])
+    b = asm.word("b", 7)
+    assert b == a + 16
+    assert asm.data.addr_of("a") == a
+    asm.la("t0", "b")
+    asm.halt()
+    result = Emulator(asm.finish()).run()
+    assert result.reg("t0") == b
+    assert result.memory.read(b, 8) == 7

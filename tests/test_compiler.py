@@ -1,0 +1,293 @@
+"""Compiler feature coverage + native-oracle equivalence (hypothesis).
+
+Every kernel here is compiled to the ISA, emulated, and compared against
+its own native-Python execution under wrapping 64-bit semantics.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import Module, array_ref, CompileError, hash64, \
+    min64, max64
+from repro.compiler.runtime import I64, native_call
+from repro.emu import Emulator
+from repro.utils.bits import to_signed
+
+# Kernels must be module-level so inspect.getsource works.
+
+
+def k_arith(a, b):
+    return (a + b) * 3 - (a - b) // 5 + (a % 7) * (b & 15)
+
+
+def k_bitops(a, b):
+    x = (a << 3) ^ (b >> 2)
+    y = ~a & b | 0x0F0F
+    return x + y + (-a)
+
+
+def k_control(n):
+    total = 0
+    i = 0
+    while i < n:
+        if i % 3 == 0:
+            total += i
+        elif i % 3 == 1:
+            total -= 1
+        else:
+            total = total * 2 - 3
+        i += 1
+    return total
+
+
+def k_for_loops(n):
+    total = 0
+    for i in range(n):
+        total += i
+    for i in range(2, n, 3):
+        total += i * 2
+    for i in range(n, 0, -1):
+        total -= 1
+    for i in range(n - 1, -1, -1):
+        total += i & 1
+    return total
+
+
+def k_break_continue(n):
+    total = 0
+    for i in range(n):
+        if i == 7:
+            continue
+        if i > 12:
+            break
+        total += i
+    return total
+
+
+def k_boolops(a, b):
+    count = 0
+    if a > 0 and b > 0:
+        count += 1
+    if a > 0 or b > 10:
+        count += 2
+    if not (a == b):
+        count += 4
+    flag = (a > 1 and b > 1) or a == 0
+    return count * 10 + flag
+
+
+def k_compare_values(a, b):
+    return ((a < b) + (a > b) * 2 + (a <= b) * 4 + (a >= b) * 8
+            + (a == b) * 16 + (a != b) * 32)
+
+
+def k_arrays(arr, n):
+    for i in range(n):
+        arr[i] = i * i
+    arr[0] += 5
+    total = 0
+    for i in range(n):
+        total += arr[i]
+    arr[n - 1] = arr[0] + arr[1]
+    return total
+
+
+def k_helper(x):
+    return x * 2 + 1
+
+
+def k_calls(a, b):
+    return k_helper(a) + k_helper(k_helper(b)) + k_helper(a + b)
+
+
+def k_fib(n):
+    if n < 2:
+        return n
+    return k_fib(n - 1) + k_fib(n - 2)
+
+
+def k_recursion(n):
+    return k_fib(n)
+
+
+def k_intrinsics(a, b):
+    return (hash64(a) & 255) + min64(a, b) * 3 + max64(a, b)
+
+
+def k_while_true(n):
+    i = 0
+    while True:
+        i += 1
+        if i >= n:
+            break
+    return i
+
+
+def _check(module_funcs, main, args, arrays=None):
+    mod = Module()
+    for func in module_funcs:
+        mod.add_function(func)
+    array_lengths = {}
+    build_args = []
+    for arg in args:
+        build_args.append(arg)
+    if arrays:
+        for name, values in arrays.items():
+            mod.array(name, values)
+            array_lengths[name] = (len(values) if not isinstance(values, int)
+                                   else values)
+    prog = mod.build(main, build_args)
+    expected, native_arrays = mod.run_native()
+    result = Emulator(prog).run(max_insts=3_000_000)
+    got = to_signed(Module.read_result(prog, result.memory))
+    assert got == expected, "result mismatch: %d != %d" % (got, expected)
+    for name, length in array_lengths.items():
+        sim = [to_signed(v) for v in
+               Module.read_array(prog, result.memory, name, length)]
+        assert sim == native_arrays[name], "array %r mismatch" % name
+    return got
+
+
+def test_arithmetic():
+    _check([k_arith], "k_arith", [37, 11])
+    _check([k_arith], "k_arith", [-1000, 999])
+
+
+def test_bitops():
+    _check([k_bitops], "k_bitops", [0x1234, 0x00FF])
+
+
+def test_control_flow():
+    _check([k_control], "k_control", [25])
+
+
+def test_for_loop_variants():
+    _check([k_for_loops], "k_for_loops", [13])
+
+
+def test_break_continue():
+    _check([k_break_continue], "k_break_continue", [30])
+
+
+def test_boolops():
+    for args in ([3, 4], [0, 0], [5, 5], [-2, 20]):
+        _check([k_boolops], "k_boolops", args)
+
+
+def test_compare_in_value_context():
+    for args in ([1, 2], [2, 1], [3, 3], [-5, 5]):
+        _check([k_compare_values], "k_compare_values", args)
+
+
+def test_arrays():
+    _check([k_arrays], "k_arrays", [array_ref("buf"), 10],
+           arrays={"buf": [0] * 10})
+
+
+def test_function_calls():
+    _check([k_helper, k_calls], "k_calls", [4, 9])
+
+
+def test_recursion():
+    assert _check([k_fib, k_recursion], "k_recursion", [12]) == 144
+
+
+def test_intrinsics():
+    _check([k_intrinsics], "k_intrinsics", [123, -456])
+
+
+def test_while_true():
+    assert _check([k_while_true], "k_while_true", [9]) == 9
+
+
+def test_unknown_function_call_rejected():
+    def bad(a):
+        return unknown_helper(a)  # noqa: F821
+
+    mod = Module()
+    mod.add_function(bad)
+    with pytest.raises(CompileError):
+        mod.build("bad", [1])
+
+
+def test_unsupported_statement_rejected():
+    def bad(a):
+        del a
+        return 0
+
+    mod = Module()
+    mod.add_function(bad)
+    with pytest.raises(CompileError):
+        mod.build("bad", [1])
+
+
+def test_float_constant_rejected():
+    def bad(a):
+        return a * 1.5
+
+    mod = Module()
+    mod.add_function(bad)
+    with pytest.raises(CompileError):
+        mod.build("bad", [1])
+
+
+def test_nonconstant_range_step_rejected():
+    def bad(a):
+        total = 0
+        for i in range(0, 10, a):
+            total += i
+        return total
+
+    mod = Module()
+    mod.add_function(bad)
+    with pytest.raises(CompileError):
+        mod.build("bad", [1])
+
+
+# ---------------------------------------------------------------------------
+# Randomised equivalence
+# ---------------------------------------------------------------------------
+def k_random_mix(a, b, c):
+    x = a * 3 + (b ^ c)
+    if x & 1:
+        x = (x >> 3) + b % (c | 1)
+    else:
+        x = x - c * 5
+    total = 0
+    for i in range(x & 15):
+        total += (a + i) & (b + i)
+        if total > 1 << 40:
+            break
+    return total + x
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(-(1 << 62), 1 << 62),
+       st.integers(-(1 << 62), 1 << 62),
+       st.integers(-(1 << 62), 1 << 62))
+def test_random_inputs_match_native(a, b, c):
+    mod = Module()
+    mod.add_function(k_random_mix)
+    prog = mod.build("k_random_mix", [a, b, c])
+    expected, _ = mod.run_native()
+    result = Emulator(prog).run(max_insts=500_000)
+    assert to_signed(Module.read_result(prog, result.memory)) == expected
+
+
+def test_i64_semantics():
+    assert I64(1 << 64) == 0
+    assert I64(-7) // I64(2) == -3          # truncation, not floor
+    assert I64(-7) % I64(2) == -1
+    assert I64(-8) >> 1 == -4               # arithmetic shift
+    assert I64((1 << 63) - 1) + 1 == -(1 << 63)
+
+
+def test_native_call_wraps_arrays():
+    def writer(arr, n):
+        for i in range(n):
+            arr[i] = i * 2
+        return arr[n - 1]
+
+    result, arrays = native_call(writer, [0, 0, 0], 3)
+    assert result == 4
+    assert list(arrays[0]) == [0, 2, 4]

@@ -1,0 +1,155 @@
+"""Compiler stress: register spilling, deep nesting, leaf allocation."""
+
+from repro.compiler import Module, array_ref
+from repro.compiler.codegen import FunctionCompiler
+from repro.emu import Emulator
+from repro.utils.bits import to_signed
+
+import ast
+import textwrap
+import inspect
+
+from repro.isa.assembler import Assembler
+
+
+def many_locals(a, b):
+    """More locals than the 12 callee-saved registers: forces stack
+    slots for the overflow."""
+    v0 = a + 1
+    v1 = b + 2
+    v2 = v0 * 3
+    v3 = v1 * 5
+    v4 = v2 - v3
+    v5 = v4 ^ v0
+    v6 = v5 + v1
+    v7 = v6 * 7
+    v8 = v7 - v2
+    v9 = v8 + v3
+    v10 = v9 ^ v4
+    v11 = v10 + v5
+    v12 = v11 * 11
+    v13 = v12 - v6
+    v14 = v13 + v7
+    v15 = v14 ^ v8
+    for i in range(4):
+        v15 += v0 + v1 + v2 + v3
+        v14 -= v9 + v10
+        v0 += 1
+    return v15 + v14 + v13 + v12 + v11 + v10 + v0
+
+
+def deep_nesting(x):
+    result = 0
+    if x > 0:
+        if x > 10:
+            if x > 100:
+                if x > 1000:
+                    result = 4
+                else:
+                    result = 3
+            else:
+                result = 2
+        else:
+            result = 1
+    else:
+        result = -1
+    while result < 50:
+        if result & 1:
+            result = result * 3 + 1
+        else:
+            result = result + 7
+    return result
+
+
+def leaf_fn(x):
+    y = x * 3
+    z = y + 7
+    return z ^ x
+
+
+def caller(a):
+    total = 0
+    for i in range(6):
+        total += leaf_fn(a + i)
+    return total
+
+
+def _check(funcs, main, args):
+    mod = Module()
+    for func in funcs:
+        mod.add_function(func)
+    prog = mod.build(main, args)
+    expected, _ = mod.run_native()
+    result = Emulator(prog).run(max_insts=2_000_000)
+    got = to_signed(Module.read_result(prog, result.memory))
+    assert got == expected, (main, got, expected)
+    return prog
+
+
+def test_spilled_locals():
+    _check([many_locals], "many_locals", [37, -11])
+    _check([many_locals], "many_locals", [-123456789, 987654321])
+
+
+def test_spill_produces_stack_traffic():
+    prog = _check([many_locals], "many_locals", [1, 2])
+    text = prog.disassemble()
+    # Overflow locals are addressed relative to sp.
+    assert "ld" in text and "sp" in text
+
+
+def test_deep_nesting():
+    for x in (-5, 5, 50, 500, 5000):
+        _check([deep_nesting], "deep_nesting", [x])
+
+
+def test_leaf_function_is_frameless():
+    mod = Module()
+    mod.add_function(leaf_fn)
+    mod.add_function(caller)
+    prog = mod.build("caller", [9])
+    # The leaf body must contain no sp adjustment or stack accesses.
+    lines = prog.disassemble().splitlines()
+    body = []
+    inside = False
+    for line in lines:
+        if line.strip() == "fn_leaf_fn:":
+            inside = True
+            continue
+        if inside and line.strip().startswith("fn_"):
+            break
+        if inside:
+            body.append(line)
+    assert body, "leaf function not found in listing"
+    assert all("sp" not in line for line in body), body
+
+
+def test_leaf_call_results_correct():
+    _check([leaf_fn, caller], "caller", [11])
+
+
+def test_analysis_detects_leaf():
+    source = textwrap.dedent(inspect.getsource(leaf_fn))
+    func_def = ast.parse(source).body[0]
+
+    class _FakeModule:
+        @staticmethod
+        def function_names():
+            return {"leaf_fn"}
+
+    compiler = FunctionCompiler(_FakeModule(), func_def, Assembler())
+    assert compiler.is_leaf
+    assert compiler.frame_size == 0
+    assert not compiler.stack_locals
+
+    caller_src = textwrap.dedent(inspect.getsource(caller))
+    caller_def = ast.parse(caller_src).body[0]
+
+    class _FakeModule2:
+        @staticmethod
+        def function_names():
+            return {"leaf_fn", "caller"}
+
+    compiler2 = FunctionCompiler(_FakeModule2(), caller_def, Assembler())
+    assert not compiler2.is_leaf
+    assert compiler2.frame_size > 0

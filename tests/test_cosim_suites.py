@@ -1,0 +1,53 @@
+"""Master invariant: squash reuse never changes architectural results.
+
+Every workload runs on the O3 core under baseline, MSSR and RI and the
+final registers + memory must equal the functional emulator's. This is
+the test that catches register-lifetime and RGID-soundness bugs.
+"""
+
+import pytest
+
+from repro.emu import Emulator
+from repro.pipeline import O3Core, baseline_config, mssr_config, ri_config
+from repro.workloads import get_workload
+
+_SCALE = 0.08
+
+# A representative subset per scheme keeps runtime reasonable; the full
+# matrix runs in the benchmark suite.
+_BASELINE_SET = ["nested-mispred", "bfs", "tc", "xz", "deepsjeng",
+                 "omnetpp", "perlbench"]
+_MSSR_SET = ["nested-mispred", "linear-mispred", "bfs", "cc", "xz",
+             "astar", "leela", "exchange2"]
+_RI_SET = ["nested-mispred", "bfs", "xz", "gobmk", "mcf17"]
+
+
+def _cosim(name, config):
+    workload = get_workload(name)
+    _mod, prog = workload.build(_SCALE)
+    emu = Emulator(prog).run()
+    result = O3Core(prog, config).run()
+    assert result.regs == emu.regs, name
+    assert result.memory == emu.memory, name
+    return result
+
+
+@pytest.mark.parametrize("name", _BASELINE_SET)
+def test_baseline_cosim(name):
+    _cosim(name, baseline_config())
+
+
+@pytest.mark.parametrize("name", _MSSR_SET)
+def test_mssr_cosim(name):
+    _cosim(name, mssr_config(num_streams=4))
+
+
+@pytest.mark.parametrize("name", _MSSR_SET[:4])
+def test_mssr_two_stream_cosim(name):
+    _cosim(name, mssr_config(num_streams=2, wpb_entries=32,
+                             squash_log_entries=128))
+
+
+@pytest.mark.parametrize("name", _RI_SET)
+def test_ri_cosim(name):
+    _cosim(name, ri_config(num_sets=64, assoc=2))

@@ -1,0 +1,123 @@
+"""Functional emulator behaviour."""
+
+import pytest
+
+from repro.isa import Assembler, assemble_text
+from repro.isa.program import STACK_TOP
+from repro.emu import Emulator, EmulationError
+from repro.utils.bits import to_signed, to_unsigned
+
+
+def test_initial_state():
+    prog = assemble_text("halt")
+    emu = Emulator(prog)
+    assert emu.regs[2] == STACK_TOP  # sp
+    assert emu.pc == prog.entry
+
+
+def test_x0_stays_zero():
+    prog = assemble_text("""
+        li x0, 42
+        addi t0, x0, 1
+        halt
+    """)
+    result = Emulator(prog).run()
+    assert result.regs[0] == 0
+    assert result.reg("t0") == 1
+
+
+def test_branches_and_jumps():
+    prog = assemble_text("""
+        li t0, 0
+        li t1, 5
+    loop:
+        addi t0, t0, 1
+        blt t0, t1, loop
+        jal ra, sub
+        halt
+    sub:
+        addi t2, t0, 10
+        ret
+    """)
+    result = Emulator(prog).run()
+    assert result.reg("t0") == 5
+    assert result.reg("t2") == 15
+
+
+def test_lw_sign_extends():
+    asm = Assembler()
+    slot = asm.word("slot")
+    asm.li("t0", 0xFFFFFFFF)
+    asm.li("t1", slot)
+    asm.sw("t0", "t1", 0)
+    asm.lw("t2", "t1", 0)
+    asm.lbu("t3", "t1", 0)
+    asm.halt()
+    result = Emulator(asm.finish()).run()
+    assert to_signed(result.reg("t2")) == -1
+    assert result.reg("t3") == 0xFF
+
+
+def test_wrapping_arithmetic():
+    prog = assemble_text("""
+        li t0, -1
+        addi t0, t0, 2
+        li t1, 0x7FFFFFFFFFFFFFFF
+        addi t1, t1, 1
+        halt
+    """)
+    result = Emulator(prog).run()
+    assert result.reg("t0") == 1
+    assert result.reg("t1") == to_unsigned(-(1 << 63))
+
+
+def test_run_off_program_raises():
+    prog = assemble_text("nop")  # no halt
+    with pytest.raises(EmulationError):
+        Emulator(prog).run()
+
+
+def test_instruction_budget():
+    prog = assemble_text("""
+    loop:
+        j loop
+    """)
+    with pytest.raises(EmulationError):
+        Emulator(prog).run(max_insts=100)
+
+
+def test_step_after_halt_raises():
+    prog = assemble_text("halt")
+    emu = Emulator(prog)
+    emu.step()
+    with pytest.raises(EmulationError):
+        emu.step()
+
+
+def test_run_trace_records_branches():
+    prog = assemble_text("""
+        li t0, 2
+    loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        halt
+    """)
+    _result, trace = Emulator(prog).run_trace()
+    branches = [(taken) for _pc, taken, _target in trace]
+    assert branches == [True, False]
+
+
+def test_jalr_target_clears_low_bit():
+    asm = Assembler()
+    asm.li("t0", 0)
+    asm.j("start")
+    asm.label("func")
+    asm.li("t0", 7)
+    asm.ret()
+    asm.label("start")
+    # target = func address | 1 (low bit must be cleared by jalr)
+    asm.li("t2", asm.resolve("func") | 1)
+    asm.jalr("ra", "t2", 0)
+    asm.halt()
+    result = Emulator(asm.finish()).run()
+    assert result.reg("t0") == 7

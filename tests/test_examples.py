@@ -1,0 +1,45 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    path = _EXAMPLES / ("%s.py" % name)
+    spec = importlib.util.spec_from_file_location("example_%s" % name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {p.name for p in _EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "gap_speedup.py", "reconvergence_profile.py",
+            "hardware_budget.py", "custom_workload.py"} <= names
+
+
+def test_quickstart_runs(capsys):
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "reconvergences detected" in out
+    assert "speedup" in out
+
+
+def test_hardware_budget_runs(capsys):
+    _load("hardware_budget").main()
+    out = capsys.readouterr().out
+    assert "3.528" in out or "3.53" in out
+    assert "Reconvergence detection" in out
+
+
+@pytest.mark.slow
+def test_custom_workload_runs(capsys):
+    _load("custom_workload").main()
+    out = capsys.readouterr().out
+    assert "sum of first 25 odd numbers = 625" in out

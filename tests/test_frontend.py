@@ -1,0 +1,133 @@
+"""BTB, RAS and the block-based fetch unit."""
+
+from repro.frontend import BranchTargetBuffer, ReturnAddressStack, FetchUnit
+from repro.frontend.predictors import build_predictor
+from repro.isa import assemble_text
+
+
+def test_btb_install_and_lookup():
+    btb = BranchTargetBuffer(num_sets=8, assoc=2)
+    assert btb.lookup(0x100) is None
+    btb.install(0x100, 0x500)
+    assert btb.lookup(0x100) == 0x500
+    btb.install(0x100, 0x600)   # update in place
+    assert btb.lookup(0x100) == 0x600
+
+
+def test_btb_lru_eviction():
+    btb = BranchTargetBuffer(num_sets=1, assoc=2)
+    btb.install(0x0, 1)
+    btb.install(0x4, 2)
+    btb.lookup(0x0)             # refresh
+    btb.install(0x8, 3)         # evicts 0x4
+    assert btb.lookup(0x0) == 1
+    assert btb.lookup(0x4) is None
+    assert btb.lookup(0x8) == 3
+
+
+def test_ras_push_pop():
+    ras = ReturnAddressStack(depth=4)
+    ras.push(0x10)
+    ras.push(0x20)
+    assert ras.pop() == 0x20
+    assert ras.pop() == 0x10
+    assert ras.pop() is None
+
+
+def test_ras_snapshot_restore():
+    ras = ReturnAddressStack(depth=4)
+    ras.push(0x10)
+    snap = ras.snapshot()
+    ras.push(0x20)
+    ras.pop()
+    ras.pop()
+    ras.restore(snap)
+    assert ras.peek() == 0x10
+
+
+def test_ras_wraps_without_error():
+    ras = ReturnAddressStack(depth=2)
+    for i in range(5):
+        ras.push(i)
+    assert ras.pop() == 4
+
+
+def _fetch_unit(source):
+    prog = assemble_text(source)
+    predictor = build_predictor("always-taken")
+    return prog, FetchUnit(prog, predictor, BranchTargetBuffer(),
+                           ReturnAddressStack())
+
+
+def test_block_ends_at_taken_branch():
+    prog, fetch = _fetch_unit("""
+        addi t0, t0, 1
+        beq t0, t0, target
+        addi t1, t1, 1
+    target:
+        halt
+    """)
+    block = fetch.fetch_block(cycle=1)
+    assert block.num_insts == 2          # addi + predicted-taken beq
+    assert block.pred_next_pc == prog.label_pc("target")
+
+
+def test_block_limited_to_fetch_width():
+    source = "\n".join(["addi t0, t0, 1"] * 20) + "\nhalt"
+    prog, fetch = _fetch_unit(source)
+    block = fetch.fetch_block(cycle=1)
+    assert block.num_insts == 8
+    assert block.pred_next_pc == prog.code_base + 8 * 4
+
+
+def test_halt_ends_block_and_stalls():
+    _prog, fetch = _fetch_unit("""
+        addi t0, t0, 1
+        halt
+    """)
+    block = fetch.fetch_block(cycle=1)
+    assert block.insts[-1].inst.is_halt
+    assert fetch.stalled
+    assert fetch.fetch_block(cycle=2) is None
+
+
+def test_redirect_unstalls():
+    prog, fetch = _fetch_unit("""
+        halt
+        addi t0, t0, 1
+        halt
+    """)
+    fetch.fetch_block(cycle=1)
+    assert fetch.stalled
+    fetch.redirect(prog.code_base + 4)
+    block = fetch.fetch_block(cycle=2)
+    assert block.start_pc == prog.code_base + 4
+
+
+def test_ftq_squash_partial_block():
+    source = "\n".join(["addi t0, t0, 1"] * 8) + "\nhalt"
+    prog, fetch = _fetch_unit(source)
+    block = fetch.fetch_block(cycle=1)
+    boundary_seq = block.insts[2].seq
+    squashed = fetch.squash_ftq_after(block.block_id,
+                                      keep_partial_seq=boundary_seq)
+    assert len(squashed) == 1
+    partial = squashed[0]
+    assert partial.insts[0].seq == boundary_seq + 1
+    assert partial.num_insts == 5
+    # The surviving FTQ entry keeps only the older instructions.
+    assert fetch.ftq[0].num_insts == 3
+
+
+def test_ras_drives_return_prediction():
+    prog, fetch = _fetch_unit("""
+        jal ra, func
+        halt
+    func:
+        ret
+    """)
+    call_block = fetch.fetch_block(cycle=1)
+    assert call_block.pred_next_pc == prog.label_pc("func")
+    ret_block = fetch.fetch_block(cycle=2)
+    # The return is predicted through the RAS back to pc+4 of the call.
+    assert ret_block.pred_next_pc == prog.code_base + 4

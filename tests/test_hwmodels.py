@@ -1,0 +1,82 @@
+"""Hardware models: Table 2 exactness, Table 4 scaling."""
+
+from repro.hwmodels import paper_default_storage
+from repro.hwmodels.storage import StorageModel
+from repro.hwmodels.synthesis import (
+    comparator, equality, priority_encoder, mux, incrementer,
+    reconvergence_detection_report, reuse_test_report,
+)
+
+
+def test_paper_totals_exact():
+    report = paper_default_storage().report()
+    assert report["constant_bits"] == 18816
+    assert round(report["constant_kb"], 2) == 2.30
+    assert round(report["variable_kb"], 2) == 1.23
+    assert round(report["total_kb"], 2) == 3.53
+
+
+def test_entry_widths_match_table2():
+    model = StorageModel()
+    assert model.wpb_entry_bits() == 23      # valid + 2 x 11-bit PCs
+    assert model.squash_log_entry_bits() == 33
+
+
+def test_formula_equivalence_across_configs():
+    for n in (1, 2, 4, 8):
+        for m in (8, 16, 64):
+            for p in (32, 64, 256):
+                model = StorageModel(num_streams=n, wpb_entries=m,
+                                     squash_log_entries=p)
+                assert model.variable_bits() == \
+                    model.variable_bits_formula(), (n, m, p)
+
+
+def test_constant_part_independent_of_streams():
+    a = StorageModel(num_streams=1).constant_bits()
+    b = StorageModel(num_streams=8).constant_bits()
+    assert a == b
+
+
+def test_variable_part_scales_linearly():
+    one = StorageModel(num_streams=1)
+    four = StorageModel(num_streams=4)
+    per_stream_1 = one.variable_bits() - one.pointer_bits()
+    per_stream_4 = four.variable_bits() - four.pointer_bits()
+    assert per_stream_4 == 4 * per_stream_1
+
+
+def test_component_library_sanity():
+    assert comparator(11).levels > comparator(2).levels
+    assert equality(64).gates > equality(8).gates
+    assert priority_encoder(64).levels == 12
+    assert mux(2, 8).gates == 32
+    assert incrementer(6).levels == 4
+
+
+def test_reconvergence_detection_scaling():
+    reports = [reconvergence_detection_report(4, m) for m in (16, 32, 64)]
+    areas = [r["area_um2"] for r in reports]
+    powers = [r["power_mw"] for r in reports]
+    assert areas[0] < areas[1] < areas[2]
+    assert powers[0] < powers[1] < powers[2]
+    # near-linear in capacity
+    assert 1.7 < areas[1] / areas[0] < 2.3
+    assert 1.7 < areas[2] / areas[1] < 2.3
+
+
+def test_reuse_test_scaling():
+    reports = [reuse_test_report(w) for w in (4, 6, 8)]
+    levels = [r["logic_levels"] for r in reports]
+    assert levels[0] < levels[1] < levels[2]
+    # depth grows super-logarithmically (serial RGID increments add ~3
+    # levels per extra instruction, far more than a mux tree's log term)
+    assert levels[2] - levels[0] >= 10
+
+
+def test_streams_dont_change_reuse_test():
+    # The reuse-test circuit depends on pipeline width, not stream count
+    # (the paper's "complexity independent of the number of streams").
+    a = reuse_test_report(6, squash_log_entries=64)
+    b = reuse_test_report(6, squash_log_entries=64)
+    assert a == b

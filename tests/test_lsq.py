@@ -1,0 +1,112 @@
+"""Load/store queue: forwarding, patching, violation search."""
+
+from repro.isa import Op, Instruction
+from repro.emu import SparseMemory
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.lsq import LoadStoreQueue
+
+
+def _store(seq, addr, data, size=8, issued=True, issue_cycle=0):
+    inst = Instruction(Op.SD if size == 8 else Op.SB, srcs=(1, 2),
+                       imm=0, pc=0x100 + 4 * seq)
+    dyn = DynInst(seq, inst.pc, inst, 0, 0)
+    dyn.mem_addr = addr
+    dyn.mem_size = size
+    dyn.store_data = data
+    dyn.issued = issued
+    dyn.issue_cycle = issue_cycle
+    return dyn
+
+
+def _load(seq, addr, size=8, issued=True, issue_cycle=0):
+    inst = Instruction(Op.LD, dest=3, srcs=(1,), imm=0, pc=0x100 + 4 * seq)
+    dyn = DynInst(seq, inst.pc, inst, 0, 0)
+    dyn.mem_addr = addr
+    dyn.mem_size = size
+    dyn.issued = issued
+    dyn.issue_cycle = issue_cycle
+    return dyn
+
+
+def _lsq(initial=None):
+    return LoadStoreQueue(SparseMemory(initial or {}))
+
+
+def test_read_from_committed_memory():
+    lsq = _lsq({0x100: 0xAA})
+    value, forwarded = lsq.speculative_read(0x100, 8, seq=5)
+    assert value == 0xAA and not forwarded
+
+
+def test_forward_from_older_store():
+    lsq = _lsq({0x100: 0xAA})
+    store = _store(1, 0x100, 0xBB)
+    lsq.allocate(store)
+    value, forwarded = lsq.speculative_read(0x100, 8, seq=2)
+    assert value == 0xBB and forwarded
+
+
+def test_younger_store_not_forwarded():
+    lsq = _lsq({0x100: 0xAA})
+    lsq.allocate(_store(9, 0x100, 0xBB))
+    value, _fw = lsq.speculative_read(0x100, 8, seq=2)
+    assert value == 0xAA
+
+
+def test_unissued_store_skipped():
+    lsq = _lsq({0x100: 0xAA})
+    lsq.allocate(_store(1, 0x100, 0xBB, issued=False))
+    value, _fw = lsq.speculative_read(0x100, 8, seq=2)
+    assert value == 0xAA   # the speculation violations later catch
+
+
+def test_partial_byte_patching():
+    lsq = _lsq({0x100: 0x1111111111111111})
+    lsq.allocate(_store(1, 0x103, 0xFF, size=1))
+    value, forwarded = lsq.speculative_read(0x100, 8, seq=2)
+    assert forwarded
+    assert value == 0x11111111FF111111
+
+
+def test_multiple_stores_apply_in_age_order():
+    lsq = _lsq()
+    lsq.allocate(_store(1, 0x100, 0x01))
+    lsq.allocate(_store(2, 0x100, 0x02))
+    value, _fw = lsq.speculative_read(0x100, 8, seq=3)
+    assert value == 0x02
+
+
+def test_violation_search_finds_early_loads():
+    lsq = _lsq()
+    load = _load(5, 0x100, issue_cycle=3)
+    lsq.allocate(load)
+    store = _store(2, 0x100, 0xEE, issue_cycle=9)
+    lsq.allocate(store)
+    assert lsq.find_violations(store) == [load]
+
+
+def test_no_violation_if_load_issued_after_store():
+    lsq = _lsq()
+    load = _load(5, 0x100, issue_cycle=10)
+    lsq.allocate(load)
+    store = _store(2, 0x100, 0xEE, issue_cycle=9)
+    lsq.allocate(store)
+    assert lsq.find_violations(store) == []
+
+
+def test_no_violation_for_disjoint_addresses():
+    lsq = _lsq()
+    load = _load(5, 0x200, issue_cycle=0)
+    lsq.allocate(load)
+    store = _store(2, 0x100, 0xEE, issue_cycle=5)
+    lsq.allocate(store)
+    assert lsq.find_violations(store) == []
+
+
+def test_commit_store_writes_memory():
+    lsq = _lsq()
+    store = _store(1, 0x100, 0x42)
+    lsq.allocate(store)
+    lsq.commit_store(store)
+    assert lsq.memory.read(0x100, 8) == 0x42
+    assert not lsq.stores

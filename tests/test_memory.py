@@ -1,0 +1,80 @@
+"""Sparse memory vs a bytearray reference model (hypothesis)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.emu import SparseMemory
+
+
+def test_uninitialised_reads_zero():
+    mem = SparseMemory()
+    assert mem.read(0x1000, 8) == 0
+    assert mem.read(12345 * 8, 8) == 0
+
+
+def test_sized_writes_and_reads():
+    mem = SparseMemory()
+    mem.write(0x100, 0x1122334455667788, 8)
+    assert mem.read(0x100, 8) == 0x1122334455667788
+    assert mem.read(0x100, 4) == 0x55667788
+    assert mem.read(0x104, 4) == 0x11223344
+    assert mem.read(0x100, 1) == 0x88
+    assert mem.read(0x107, 1) == 0x11
+    mem.write(0x103, 0xFF, 1)
+    assert mem.read(0x100, 4) == 0xFF667788
+
+
+def test_misaligned_access_raises():
+    mem = SparseMemory()
+    with pytest.raises(ValueError):
+        mem.read(0x101, 8)
+    with pytest.raises(ValueError):
+        mem.write(0x102, 0, 4)
+    with pytest.raises(ValueError):
+        mem.read(0x100, 3)
+
+
+def test_image_and_equality():
+    mem = SparseMemory({0x10: 7, 0x18: 0})
+    other = SparseMemory({0x10: 7})
+    assert mem == other          # zero words don't matter
+    other.write(0x20, 1, 8)
+    assert mem != other
+
+
+def test_copy_is_independent():
+    mem = SparseMemory({0: 5})
+    clone = mem.copy()
+    clone.write(0, 6, 8)
+    assert mem.read(0, 8) == 5
+
+
+_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255),     # byte offset
+        st.sampled_from([1, 4, 8]),
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+    ),
+    max_size=60,
+)
+
+
+@given(_ops)
+def test_against_bytearray_reference(ops):
+    mem = SparseMemory()
+    ref = bytearray(256 + 8)
+    for offset, size, value in ops:
+        addr = offset - offset % size  # align naturally
+        mem.write(0x1000 + addr, value, size)
+        ref[addr:addr + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little")
+    for check in range(0, 256, 8):
+        expected = int.from_bytes(ref[check:check + 8], "little")
+        assert mem.read(0x1000 + check, 8) == expected
+
+
+def test_read_word_array():
+    mem = SparseMemory()
+    for i in range(4):
+        mem.write(0x40 + 8 * i, i + 1, 8)
+    assert mem.read_word_array(0x40, 4) == [1, 2, 3, 4]

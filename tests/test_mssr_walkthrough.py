@@ -1,0 +1,93 @@
+"""The paper's Figure 5 walkthrough, end to end.
+
+An if-then-else with a hard-to-predict branch: the taken path (I5, I6)
+computes a2; the reconvergent region I7-I9 updates a1 twice and a2 once.
+After the branch mispredicts and the corrected path (I2-I4) re-derives
+a2, the refetched I7 and I8 (sources: a1, untouched by either arm) must
+be *reused*, while I9 (source: a2, rewritten on the corrected path) must
+fail its RGID test and re-execute — exactly the paper's steps 8/9/10.
+"""
+
+from repro.isa import Assembler
+from repro.pipeline import O3Core, mssr_config
+from repro.emu import Emulator
+
+
+def _program(t0_value):
+    asm = Assembler()
+    # Delay t0 so I1 resolves late (guaranteeing deep wrong-path fetch).
+    asm.li("t1", t0_value)
+    for _ in range(6):
+        asm.mul("t1", "t1", "t1")
+    asm.snez("t0", "t1")       # t0 = (t0_value != 0)
+    asm.label("I1")
+    asm.beqz("t0", "I5")
+    asm.label("I2")
+    asm.srli("a2", "a2", 1)
+    asm.label("I3")
+    asm.addi("a2", "a2", 1)
+    asm.label("I4")
+    asm.j("I7")
+    asm.label("I5")
+    asm.srli("a2", "a2", 2)
+    asm.label("I6")
+    asm.addi("a2", "a2", -1)
+    asm.label("I7")
+    asm.addi("a1", "a1", 1)
+    asm.label("I8")
+    asm.srli("a1", "a1", 1)
+    asm.label("I9")
+    asm.srli("a2", "a2", 1)
+    asm.halt()
+    return asm.finish()
+
+
+def _run(t0_value, warm_branch_taken):
+    prog = _program(t0_value)
+    core = O3Core(prog, mssr_config(num_streams=4))
+    # Bias the predictor so I1 is predicted the *wrong* way.
+    branch_pc = prog.label_pc("I1")
+    for _ in range(8):
+        taken, meta = core.predictor.predict(branch_pc)
+        core.predictor.update(branch_pc, warm_branch_taken, meta)
+        core.predictor.restore_history(0)
+    result = core.run()
+    return prog, core, result
+
+
+def test_reuse_of_a1_chain_and_reexecution_of_a2():
+    # t0 != 0 -> branch NOT taken -> correct path I2,I3,I4,I7...
+    # Warm the predictor toward taken so the wrong path I5.. executes.
+    prog, core, result = _run(t0_value=3, warm_branch_taken=True)
+    stats = result.stats
+
+    # The branch really mispredicted and the corrected path reconverged
+    # with the squashed stream.
+    assert stats.cond_mispredicts >= 1
+    assert stats.reconvergences >= 1
+    # I7 and I8 (the a1 chain) are the only reusable instructions: their
+    # source a1 has RGID 0 on both paths (steps 8 and 9).
+    assert stats.reuse_successes == 2
+    # I9's reuse test ran and failed (step 10: a2's RGID differs).
+    assert stats.reuse_tests >= 3
+
+    # Architectural result identical to the functional model.
+    emu = Emulator(prog).run()
+    assert result.regs == emu.regs
+
+
+def test_no_reuse_when_prediction_correct():
+    prog, core, result = _run(t0_value=3, warm_branch_taken=False)
+    assert result.stats.cond_mispredicts == 0
+    assert result.stats.reuse_successes == 0
+    emu = Emulator(prog).run()
+    assert result.regs == emu.regs
+
+
+def test_taken_direction_also_reuses():
+    # t0 == 0 -> branch taken -> wrong path is the fall-through I2..
+    prog, core, result = _run(t0_value=0, warm_branch_taken=False)
+    assert result.stats.cond_mispredicts >= 1
+    assert result.stats.reuse_successes == 2
+    emu = Emulator(prog).run()
+    assert result.regs == emu.regs

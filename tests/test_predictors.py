@@ -1,0 +1,120 @@
+"""Branch predictors: learning behaviour and history recovery."""
+
+from repro.frontend import (
+    BimodalPredictor, GSharePredictor, TagePredictor, TageSCL,
+    LoopPredictor, StatisticalCorrector, build_predictor,
+)
+
+
+def _train(pred, pc, outcomes, repeats=1):
+    """Feed a repeating outcome pattern; returns accuracy of last pass."""
+    correct = 0
+    total = 0
+    for r in range(repeats):
+        for outcome in outcomes:
+            taken, meta = pred.predict(pc)
+            if r == repeats - 1:
+                total += 1
+                correct += (taken == outcome)
+            if taken != outcome:
+                pred.recover(outcome, meta)
+            pred.update(pc, outcome, meta)
+    return correct / total if total else 0.0
+
+
+def test_bimodal_learns_bias():
+    pred = BimodalPredictor(num_entries=64)
+    acc = _train(pred, 0x1000, [True] * 50, repeats=2)
+    assert acc == 1.0
+    acc = _train(pred, 0x2000, [False] * 50, repeats=2)
+    assert acc == 1.0
+
+
+def test_bimodal_cannot_learn_alternation():
+    pred = BimodalPredictor(num_entries=64)
+    acc = _train(pred, 0x1000, [True, False] * 40, repeats=3)
+    assert acc < 0.8
+
+
+def test_gshare_learns_alternation():
+    pred = GSharePredictor(num_entries=1024, history_bits=8)
+    acc = _train(pred, 0x1000, [True, False] * 40, repeats=6)
+    assert acc > 0.9
+
+
+def test_tage_learns_long_pattern():
+    pred = TagePredictor(num_tables=5, base_entries=512, table_entries=256,
+                         min_history=2, max_history=32)
+    pattern = [True, True, False, True, False, False, True, False]
+    acc = _train(pred, 0x1000, pattern * 10, repeats=8)
+    assert acc > 0.9
+
+
+def test_tage_scl_learns_pattern():
+    pred = TageSCL()
+    pattern = [True, False, False, True]
+    acc = _train(pred, 0x4000, pattern * 10, repeats=8)
+    assert acc > 0.9
+
+
+def test_history_recovery_restores_state():
+    pred = GSharePredictor()
+    pred.predict(0x10)
+    snap = pred.snapshot_history()
+    _taken, meta = pred.predict(0x20)
+    assert pred.history != snap
+    pred.recover(True, meta)
+    # History = pre-prediction history of 0x20 plus the actual outcome.
+    assert pred.history == ((meta.history << 1) | 1)
+
+
+def test_loop_predictor_predicts_exit():
+    loop = LoopPredictor(num_entries=16)
+    pc = 0x100
+    # Train: loop runs exactly 5 iterations (4 taken + 1 not-taken).
+    for _ in range(6):
+        for taken in [True] * 4 + [False]:
+            loop.update(pc, taken)
+    hits = []
+    for taken in [True] * 4 + [False]:
+        valid, pred_taken = loop.predict(pc)
+        hits.append(valid and pred_taken == taken)
+        loop.update(pc, taken)
+    assert all(hits), hits
+
+
+def test_loop_predictor_loses_confidence_on_trip_change():
+    loop = LoopPredictor(num_entries=16)
+    pc = 0x100
+    for _ in range(6):
+        for taken in [True] * 3 + [False]:
+            loop.update(pc, taken)
+    for taken in [True] * 9 + [False]:   # trip changes
+        loop.update(pc, taken)
+    valid, _taken = loop.predict(pc)
+    assert not valid
+
+
+def test_statistical_corrector_trains():
+    sc = StatisticalCorrector()
+    pc, history = 0x300, 0b1011
+    # TAGE keeps saying taken but the outcome is not-taken: SC learns to
+    # flip it.
+    for _ in range(40):
+        _use, _taken, total = sc.predict(pc, history, True)
+        sc.update(pc, history, True, False, total)
+    use, taken, _total = sc.predict(pc, history, True)
+    assert use and taken is False
+
+
+def test_build_predictor_factory():
+    assert build_predictor("bimodal").name == "bimodal"
+    assert build_predictor("gshare").name == "gshare"
+    assert build_predictor("tage").name == "tage"
+    assert build_predictor("tage-scl").name == "tage-scl"
+    try:
+        build_predictor("nope")
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError")

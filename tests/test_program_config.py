@@ -1,0 +1,82 @@
+"""Program container, data segment and core configuration validation."""
+
+import pytest
+
+from repro.isa import assemble_text, Program, Instruction, Op
+from repro.isa.program import DataSegment
+from repro.pipeline.config import CoreConfig, MSSRConfig, RIConfig, \
+    baseline_config, mssr_config, dci_config, ri_config
+
+
+def test_pc_mapping():
+    prog = assemble_text("nop\nnop\nhalt")
+    base = prog.code_base
+    assert prog.has_pc(base) and prog.has_pc(base + 8)
+    assert not prog.has_pc(base + 12)     # past the end
+    assert not prog.has_pc(base + 2)      # misaligned
+    assert not prog.has_pc(base - 4)
+    assert prog.inst_at(base + 8).is_halt
+
+
+def test_inst_at_invalid_raises():
+    prog = assemble_text("halt")
+    with pytest.raises(KeyError):
+        prog.inst_at(0)
+
+
+def test_pc_consistency_enforced():
+    good = Instruction(Op.NOP, pc=0x1000)
+    bad = Instruction(Op.NOP, pc=0x2000)
+    with pytest.raises(ValueError):
+        Program([good, bad])
+
+
+def test_disassemble_contains_labels():
+    prog = assemble_text("""
+    start:
+        nop
+    end:
+        halt
+    """)
+    text = prog.disassemble()
+    assert "start:" in text and "end:" in text
+
+
+def test_data_segment_alignment_and_symbols():
+    data = DataSegment(base=0x1000)
+    a = data.reserve("a", 3)     # rounds up to 8
+    b = data.word("b", 5)
+    assert a == 0x1000
+    assert b == 0x1008
+    assert data.addr_of("b") == b
+    assert data.image() == {b: 5}
+    with pytest.raises(ValueError):
+        data.reserve("a", 8)     # duplicate
+
+
+def test_config_rejects_two_schemes():
+    with pytest.raises(ValueError):
+        CoreConfig(mssr=MSSRConfig(), ri=RIConfig())
+
+
+def test_config_rejects_tiny_prf():
+    with pytest.raises(ValueError):
+        CoreConfig(num_phys_regs=32)
+
+
+def test_config_builders():
+    assert baseline_config().mssr is None
+    assert mssr_config(num_streams=3).mssr.num_streams == 3
+    assert dci_config().mssr.num_streams == 1
+    cfg = ri_config(num_sets=32, assoc=8)
+    assert cfg.ri.num_sets == 32 and cfg.ri.assoc == 8
+
+
+def test_mssr_config_defaults_match_paper():
+    cfg = MSSRConfig()
+    assert cfg.num_streams == 4
+    assert cfg.wpb_entries == 16
+    assert cfg.squash_log_entries == 64
+    assert cfg.rgid_bits == 6
+    assert cfg.reconvergence_timeout == 1024
+    assert cfg.rgid_overflow_limit == 8

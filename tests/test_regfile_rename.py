@@ -1,0 +1,168 @@
+"""Physical register file ownership and the RGID rename table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Op, Instruction
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.regfile import PhysRegFile
+from repro.pipeline.rename import RenameTable, NULL_RGID
+
+
+def _dyn(seq, dest_areg, srcs=()):
+    inst = Instruction(Op.ADDI, dest=dest_areg, srcs=(srcs or (1,)),
+                       imm=0, pc=0x1000 + 4 * seq)
+    return DynInst(seq, inst.pc, inst, block_id=0, fetch_cycle=0)
+
+
+def test_initial_conservation():
+    rf = PhysRegFile(64, NUM_ARCH_REGS)
+    assert rf.check_conservation()
+    assert rf.num_free == 64 - NUM_ARCH_REGS
+
+
+def test_allocate_exhaustion():
+    rf = PhysRegFile(NUM_ARCH_REGS + 2, NUM_ARCH_REGS)
+    a = rf.allocate()
+    b = rf.allocate()
+    assert a is not None and b is not None
+    assert rf.allocate() is None
+    rf.free(a)
+    assert rf.allocate() == a
+
+
+def test_double_free_asserts():
+    rf = PhysRegFile(64, NUM_ARCH_REGS)
+    preg = rf.allocate()
+    rf.free(preg)
+    with pytest.raises(AssertionError):
+        rf.free(preg)
+
+
+def test_state_transitions():
+    rf = PhysRegFile(64, NUM_ARCH_REGS)
+    preg = rf.allocate()
+    assert rf.state_of(preg) == "in-flight"
+    rf.mark_reserved(preg)
+    assert rf.state_of(preg) == "reserved"
+    rf.mark_in_flight(preg)
+    rf.mark_arch(preg)
+    assert rf.state_of(preg) == "arch"
+    rf.free(preg)
+    assert rf.check_conservation()
+
+
+@given(st.lists(st.sampled_from(["alloc", "free"]), max_size=100))
+def test_conservation_under_random_ops(ops):
+    rf = PhysRegFile(40, NUM_ARCH_REGS)
+    live = []
+    for op in ops:
+        if op == "alloc":
+            preg = rf.allocate()
+            if preg is not None:
+                live.append(preg)
+        elif live:
+            rf.free(live.pop())
+        assert rf.check_conservation()
+    counts = rf.count_states()
+    assert counts["in-flight"] == len(live)
+
+
+# ---------------------------------------------------------------------------
+# RenameTable / RGIDs
+# ---------------------------------------------------------------------------
+def _table(rgid_bits=6):
+    rf = PhysRegFile(96, NUM_ARCH_REGS)
+    return RenameTable(rf, rgid_bits=rgid_bits, track_rgids=True), rf
+
+
+def test_rename_allocates_fresh_rgid():
+    rat, _rf = _table()
+    dyn = _dyn(0, dest_areg=5)
+    assert rat.rename_dest(dyn)
+    assert dyn.dest_rgid == 1
+    assert rat.lookup_rgid(5) == 1
+    assert rat.lookup(5) == dyn.dest_preg
+    dyn2 = _dyn(1, dest_areg=5)
+    rat.rename_dest(dyn2)
+    assert dyn2.dest_rgid == 2
+
+
+def test_rollback_restores_mapping_but_not_counter():
+    rat, _rf = _table()
+    dyn = _dyn(0, dest_areg=5)
+    rat.rename_dest(dyn)
+    rat.rollback(dyn)
+    assert rat.lookup(5) == 5          # initial identity mapping
+    assert rat.lookup_rgid(5) == 0
+    # The global counter is NOT rolled back: the next rename must get a
+    # fresh RGID (the no-aliasing property of Section 3.1).
+    dyn2 = _dyn(1, dest_areg=5)
+    rat.rename_dest(dyn2)
+    assert dyn2.dest_rgid == 2
+
+
+def test_apply_reuse_forwards_rgid():
+    rat, rf = _table()
+    dyn = _dyn(0, dest_areg=5)
+    rat.rename_dest(dyn)
+    reuse_preg = rf.allocate()
+    consumer = _dyn(1, dest_areg=5)
+    rat.apply_reuse(consumer, reuse_preg, dyn.dest_rgid)
+    assert rat.lookup(5) == reuse_preg
+    assert rat.lookup_rgid(5) == dyn.dest_rgid  # forwarded, not fresh
+
+
+def test_rgid_overflow_returns_null():
+    rat, _rf = _table(rgid_bits=2)     # limit = 4, usable 1..3
+    rgids = []
+    for seq in range(5):
+        dyn = _dyn(seq, dest_areg=7)
+        rat.rename_dest(dyn)
+        rgids.append(dyn.dest_rgid)
+    assert rgids[:3] == [1, 2, 3]
+    assert rgids[3] == NULL_RGID
+    assert rat.overflow_events >= 1
+
+
+def test_rgid_reset_starts_new_epoch():
+    rat, _rf = _table(rgid_bits=2)
+    stale = []
+    for seq in range(3):
+        dyn = _dyn(seq, dest_areg=7)
+        rat.rename_dest(dyn)
+        stale.append(dyn.dest_rgid)
+    rat.reset_rgids()
+    assert rat.overflow_events == 0
+    dyn = _dyn(10, dest_areg=7)
+    rat.rename_dest(dyn)
+    # Fresh epoch: can never alias a pre-reset RGID.
+    assert dyn.dest_rgid not in stale
+    assert dyn.dest_rgid != NULL_RGID
+    # But the hardware 6-bit value restarts from 1.
+    assert rat.hardware_rgid(dyn.dest_rgid) == 1
+
+
+@given(st.lists(st.tuples(st.integers(1, 31),
+                          st.sampled_from(["rename", "rollback"])),
+                max_size=64))
+def test_rgid_uniqueness_per_areg(events):
+    """No two rename events of the same architectural register may ever
+    receive the same (non-null) RGID, regardless of rollbacks."""
+    rat, _rf = _table(rgid_bits=8)
+    issued = {}
+    seq = 0
+    last = {}
+    for areg, kind in events:
+        if kind == "rename":
+            dyn = _dyn(seq, dest_areg=areg)
+            seq += 1
+            if not rat.rename_dest(dyn):
+                continue
+            if dyn.dest_rgid != NULL_RGID:
+                assert dyn.dest_rgid not in issued.get(areg, set())
+                issued.setdefault(areg, set()).add(dyn.dest_rgid)
+            last[areg] = dyn
+        elif areg in last:
+            rat.rollback(last.pop(areg))

@@ -1,0 +1,106 @@
+"""Issue queues and functional-unit port accounting."""
+
+import pytest
+
+from repro.isa import Op, Instruction
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.scheduler import IssueQueue, FunctionUnits
+
+
+def _dyn(seq, op=Op.ADD):
+    num = Instruction(op, dest=3 if op is Op.ADD or op is Op.DIV else None,
+                      srcs=(1, 2) if op in (Op.ADD, Op.DIV, Op.BEQ)
+                      else (1,),
+                      imm=0x100 if op is Op.BEQ else 0,
+                      pc=0x100 + 4 * seq)
+    return DynInst(seq, num.pc, num, 0, 0)
+
+
+def test_ready_immediately_when_no_waits():
+    iq = IssueQueue("t", 8)
+    dyn = _dyn(0)
+    iq.insert(dyn, [])
+    fus = FunctionUnits(CoreConfig())
+    fus.new_cycle(1)
+    assert iq.take_ready(4, fus.try_take) == [dyn]
+    assert iq.size == 0
+
+
+def test_wakeup_decrements_and_readies():
+    iq = IssueQueue("t", 8)
+    dyn = _dyn(0)
+    iq.insert(dyn, [10, 11])
+    fus = FunctionUnits(CoreConfig())
+    fus.new_cycle(1)
+    assert iq.take_ready(4, fus.try_take) == []
+    iq.wakeup(10)
+    assert iq.take_ready(4, fus.try_take) == []
+    iq.wakeup(11)
+    assert iq.take_ready(4, fus.try_take) == [dyn]
+
+
+def test_oldest_first_issue():
+    iq = IssueQueue("t", 8)
+    young = _dyn(5)
+    old = _dyn(1)
+    iq.insert(young, [])
+    iq.insert(old, [])
+    fus = FunctionUnits(CoreConfig(num_alu=1))
+    fus.new_cycle(1)
+    assert iq.take_ready(1, fus.try_take) == [old]
+
+
+def test_capacity_overflow_asserts():
+    iq = IssueQueue("t", 1)
+    iq.insert(_dyn(0), [])
+    with pytest.raises(AssertionError):
+        iq.insert(_dyn(1), [])
+
+
+def test_squashed_entries_reclaimed():
+    iq = IssueQueue("t", 4)
+    dyns = [_dyn(i) for i in range(3)]
+    for dyn in dyns:
+        iq.insert(dyn, [99])
+    dyns[0].squashed = True
+    dyns[2].squashed = True
+    iq.remove_squashed()
+    assert iq.size == 1
+
+
+def test_alu_port_limit():
+    fus = FunctionUnits(CoreConfig(num_alu=2))
+    fus.new_cycle(1)
+    assert fus.try_take(_dyn(0))
+    assert fus.try_take(_dyn(1))
+    assert not fus.try_take(_dyn(2))
+    fus.new_cycle(2)
+    assert fus.try_take(_dyn(3))
+
+
+def test_divider_unpipelined():
+    fus = FunctionUnits(CoreConfig())
+    fus.new_cycle(1)
+    assert fus.try_take(_dyn(0, Op.DIV))
+    fus.new_cycle(2)
+    assert not fus.try_take(_dyn(1, Op.DIV))   # divider busy
+    fus.new_cycle(1 + CoreConfig().div_latency)
+    assert fus.try_take(_dyn(2, Op.DIV))
+
+
+def test_branch_uses_bru_ports():
+    fus = FunctionUnits(CoreConfig(num_bru=1))
+    fus.new_cycle(1)
+    assert fus.try_take(_dyn(0, Op.BEQ))
+    assert not fus.try_take(_dyn(1, Op.BEQ))
+    # ALU ports unaffected
+    assert fus.try_take(_dyn(2, Op.ADD))
+
+
+def test_latencies():
+    cfg = CoreConfig()
+    fus = FunctionUnits(cfg)
+    assert fus.latency_of(_dyn(0, Op.ADD)) == cfg.alu_latency
+    assert fus.latency_of(_dyn(0, Op.DIV)) == cfg.div_latency
+    assert fus.latency_of(_dyn(0, Op.BEQ)) == cfg.branch_latency

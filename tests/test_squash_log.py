@@ -1,0 +1,90 @@
+"""Squash Log entries: reusability rules and stream lifecycle."""
+
+from repro.isa import Op, Instruction
+from repro.mssr.squash_log import SquashLog, LogEntry
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.rename import NULL_RGID
+
+
+def _dyn(op, executed=True, dest=5, srcs=(1, 2), imm=0, rgids=(3, 4),
+         dest_rgid=7, seq=0):
+    inst = Instruction(op, dest=dest, srcs=srcs, imm=imm, pc=0x100 + 4 * seq)
+    dyn = DynInst(seq, inst.pc, inst, block_id=0, fetch_cycle=0)
+    dyn.executed = executed
+    dyn.renamed = True
+    dyn.src_rgids = tuple(rgids[:inst.info.num_srcs])
+    dyn.dest_rgid = dest_rgid if inst.writes_reg else None
+    dyn.dest_preg = 40 if inst.writes_reg else None
+    return dyn
+
+
+def test_alu_executed_is_reusable():
+    entry = LogEntry(_dyn(Op.ADD))
+    assert entry.reusable
+
+
+def test_not_executed_not_reusable():
+    entry = LogEntry(_dyn(Op.ADD, executed=False))
+    assert not entry.reusable
+
+
+def test_store_not_reusable():
+    entry = LogEntry(_dyn(Op.SD, dest=None, srcs=(1, 2)))
+    assert not entry.reusable
+
+
+def test_branch_not_reusable():
+    entry = LogEntry(_dyn(Op.BEQ, dest=None, srcs=(1, 2), imm=0x200))
+    assert not entry.reusable
+    jal = LogEntry(_dyn(Op.JAL, dest=1, srcs=(), imm=0x200, rgids=()))
+    assert not jal.reusable
+
+
+def test_null_rgid_not_reusable():
+    entry = LogEntry(_dyn(Op.ADD, dest_rgid=NULL_RGID))
+    assert not entry.reusable
+    entry = LogEntry(_dyn(Op.ADD, rgids=(NULL_RGID, 4)))
+    assert not entry.reusable
+
+
+def test_x0_dest_not_reusable():
+    entry = LogEntry(_dyn(Op.ADD, dest=0, dest_rgid=None))
+    assert not entry.reusable
+
+
+def test_load_records_address():
+    dyn = _dyn(Op.LD, srcs=(1,), imm=8, rgids=(3,))
+    dyn.mem_addr = 0x2000
+    dyn.mem_size = 8
+    entry = LogEntry(dyn)
+    assert entry.is_load and entry.load_addr == 0x2000
+
+
+def test_log_capacity_truncates_younger():
+    log = SquashLog(num_streams=2, entries_per_stream=4)
+    dyns = [_dyn(Op.ADD, seq=i) for i in range(10)]
+    stream = log.fill(0, dyns, event_id=1)
+    assert len(stream.entries) == 4
+    assert stream.entries[0].pc == dyns[0].pc   # oldest kept
+
+
+def test_reserved_preg_accounting():
+    log = SquashLog(num_streams=1, entries_per_stream=8)
+    dyns = [_dyn(Op.ADD, seq=i) for i in range(3)]
+    stream = log.fill(0, dyns, event_id=1)
+    for entry in stream.entries:
+        entry.reserved = True
+    assert len(stream.reserved_pregs()) == 3
+    stream.entries[0].consumed = True
+    stream.entries[1].failed = True
+    assert len(stream.reserved_pregs()) == 1
+
+
+def test_invalidate_bumps_generation():
+    log = SquashLog(num_streams=1, entries_per_stream=8)
+    stream = log.fill(0, [_dyn(Op.ADD)], event_id=1)
+    gen = stream.generation
+    stream.invalidate()
+    assert stream.generation == gen + 1
+    assert not stream.valid
+    assert not log.any_valid()

@@ -1,0 +1,89 @@
+"""Workload validation: every kernel's compiled result equals its native
+execution, and the registry behaves."""
+
+import pytest
+
+from repro.compiler import Module
+from repro.emu import Emulator
+from repro.utils.bits import to_signed
+from repro.workloads import workload_names, get_workload, SUITES, \
+    suite_workloads
+from repro.workloads.graphs import uniform_random_graph, skewed_graph
+
+_SCALE = 0.12
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_workload_matches_native(name):
+    workload = get_workload(name)
+    mod, prog = workload.build(_SCALE)
+    expected, _arrays = mod.run_native()
+    result = Emulator(prog).run(max_insts=4_000_000)
+    got = to_signed(Module.read_result(prog, result.memory))
+    assert got == expected, name
+
+
+def test_registry_contents():
+    assert set(SUITES) == {"micro", "gap", "spec2006", "spec2017"}
+    assert len(SUITES["micro"]) == 2
+    assert len(SUITES["gap"]) == 6
+    assert len(SUITES["spec2006"]) == 6
+    assert len(SUITES["spec2017"]) == 6
+    assert len(workload_names()) == 20
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError):
+        get_workload("not-a-benchmark")
+
+
+def test_suite_workloads_ordering():
+    gap = suite_workloads("gap")
+    assert [w.name for w in gap] == SUITES["gap"]
+
+
+def test_build_caching():
+    workload = get_workload("bfs")
+    a = workload.build(0.2)
+    b = workload.build(0.2)
+    assert a is b
+    c = workload.build(0.3)
+    assert c is not a
+
+
+def test_uniform_graph_properties():
+    graph = uniform_random_graph(64, 8, seed=3)
+    assert graph.num_nodes == 64
+    assert len(graph.offsets) == 65
+    assert graph.offsets[0] == 0
+    assert graph.offsets[-1] == graph.num_edges
+    for node in range(64):
+        neighbors = graph.neighbors[graph.offsets[node]:
+                                    graph.offsets[node + 1]]
+        assert neighbors == sorted(neighbors)          # sorted
+        assert len(set(neighbors)) == len(neighbors)   # deduplicated
+        assert node not in neighbors                   # no self loops
+
+
+def test_uniform_graph_symmetric():
+    graph = uniform_random_graph(48, 6, seed=5, symmetric=True)
+    edges = set()
+    for u in range(48):
+        for e in range(graph.offsets[u], graph.offsets[u + 1]):
+            edges.add((u, graph.neighbors[e]))
+    assert all((v, u) in edges for (u, v) in edges)
+
+
+def test_skewed_graph_is_skewed():
+    graph = skewed_graph(128, 8, seed=7)
+    low = sum(graph.out_degree(n) for n in range(32))
+    high = sum(graph.out_degree(n) for n in range(96, 128))
+    assert low > high  # low ids attract more edges
+
+
+def test_graph_determinism():
+    a = uniform_random_graph(40, 6, seed=11)
+    b = uniform_random_graph(40, 6, seed=11)
+    assert a.neighbors == b.neighbors and a.offsets == b.offsets
+    c = uniform_random_graph(40, 6, seed=12)
+    assert a.neighbors != c.neighbors
