@@ -6,11 +6,18 @@ Environment knobs:
   runs SimPoints/full inputs, we run proportionally shrunk kernels).
 * ``REPRO_FULL=1`` — include the expensive upper-bound configurations
   (e.g. Figure 10's 4-stream x 1024-entry point).
+* ``REPRO_JOBS`` — worker processes for the simulation harness
+  (default 1 = serial; 0 = one per CPU). See :mod:`repro.harness`.
+* ``REPRO_CACHE_DIR`` — on-disk result cache directory (default
+  ``~/.cache/repro-sim``; set to ``off`` to disable). A warm cache
+  makes benchmark reruns skip every simulation.
 """
 
 import os
 
 import pytest
+
+from repro.harness.runner import default_jobs
 
 
 def _scale():
@@ -29,3 +36,9 @@ def bench_scale():
 @pytest.fixture(scope="session")
 def full_mode():
     return _full()
+
+
+@pytest.fixture(scope="session")
+def bench_jobs():
+    """Harness worker count (``REPRO_JOBS``)."""
+    return default_jobs()

@@ -17,11 +17,13 @@ from repro.analysis.experiments import (
 )
 
 
-def test_fig10_ipc_improvements(benchmark, bench_scale, full_mode):
+def test_fig10_ipc_improvements(benchmark, bench_scale, full_mode,
+                                bench_jobs):
     configs = FIG10_CONFIGS + ((FIG10_UPPER_BOUND,) if full_mode else ())
     sweep = benchmark.pedantic(
         fig10_ipc_sweep,
-        kwargs={"scale": bench_scale, "configs": configs},
+        kwargs={"scale": bench_scale, "configs": configs,
+                "jobs": bench_jobs},
         rounds=1, iterations=1)
 
     headers = ["workload"] + ["%dx%d" % c for c in configs]

@@ -9,9 +9,10 @@ from repro.analysis import fig11_stream_distance
 from repro.analysis.experiments import distance_cdf
 
 
-def test_fig11_stream_distance(benchmark, bench_scale):
+def test_fig11_stream_distance(benchmark, bench_scale, bench_jobs):
     hist = benchmark.pedantic(
-        fig11_stream_distance, kwargs={"scale": bench_scale},
+        fig11_stream_distance,
+        kwargs={"scale": bench_scale, "jobs": bench_jobs},
         rounds=1, iterations=1)
 
     cdf = distance_cdf(hist)

@@ -9,9 +9,10 @@ from repro.analysis import fig12_rgid_vs_ri, format_table
 from repro.analysis.experiments import geomean_improvement
 
 
-def test_fig12_rgid_vs_ri(benchmark, bench_scale):
+def test_fig12_rgid_vs_ri(benchmark, bench_scale, bench_jobs):
     results = benchmark.pedantic(
-        fig12_rgid_vs_ri, kwargs={"scale": bench_scale},
+        fig12_rgid_vs_ri,
+        kwargs={"scale": bench_scale, "jobs": bench_jobs},
         rounds=1, iterations=1)
 
     any_row = next(iter(results.values()))

@@ -23,9 +23,10 @@ def _density_strip(counts, buckets=32):
     return "".join(out)
 
 
-def test_fig3_replacement_frequency(benchmark, bench_scale):
+def test_fig3_replacement_frequency(benchmark, bench_scale, bench_jobs):
     results = benchmark.pedantic(
-        fig3_ri_replacements, kwargs={"scale": max(bench_scale, 0.15)},
+        fig3_ri_replacements,
+        kwargs={"scale": max(bench_scale, 0.15), "jobs": bench_jobs},
         rounds=1, iterations=1)
 
     print()

@@ -10,9 +10,10 @@ from repro.analysis import fig4_reconvergence_types, format_table
 from repro.analysis.experiments import multi_stream_fraction
 
 
-def test_fig4_reconvergence_breakdown(benchmark, bench_scale):
+def test_fig4_reconvergence_breakdown(benchmark, bench_scale, bench_jobs):
     breakdown = benchmark.pedantic(
-        fig4_reconvergence_types, kwargs={"scale": bench_scale},
+        fig4_reconvergence_types,
+        kwargs={"scale": bench_scale, "jobs": bench_jobs},
         rounds=1, iterations=1)
 
     rows = []

@@ -15,9 +15,10 @@ reconvergence); RI at low associativity underperforms.
 from repro.analysis import table1_microbench, format_table
 
 
-def test_table1_microbench(benchmark, bench_scale):
+def test_table1_microbench(benchmark, bench_scale, bench_jobs):
     results = benchmark.pedantic(
-        table1_microbench, kwargs={"scale": max(bench_scale, 0.15)},
+        table1_microbench,
+        kwargs={"scale": max(bench_scale, 0.15), "jobs": bench_jobs},
         rounds=1, iterations=1)
 
     headers = ["bench", "MSSR 1", "MSSR 2", "MSSR 4",

@@ -1,40 +1,58 @@
 #!/usr/bin/env python3
 """Run the GAP suite under baseline / DCI / MSSR / RI and compare IPC.
 
-Reproduces the flavour of the paper's Figure 12 in one script.
+Reproduces the flavour of the paper's Figure 12 in one script. All
+(workload x config) points are submitted to the simulation harness as
+one batch, so shared runs are deduplicated, results persist to the
+on-disk cache, and ``--jobs N`` (or ``REPRO_JOBS``) simulates cache
+misses on N worker processes.
 
-Run:  python examples/gap_speedup.py [scale]
+Run:  python examples/gap_speedup.py [scale] [--jobs 4]
 """
 
-import sys
+import argparse
 
-from repro.analysis import run_workload, format_table
+from repro.analysis import format_table
+from repro.harness import SimJob, submit
 from repro.workloads.registry import suite_names
+
+CONFIGS = (
+    ("DCI(1-strm)", "mssr", {"streams": 1, "wpb": 16, "log": 64}),
+    ("MSSR(4-strm)", "mssr", {"streams": 4, "wpb": 16, "log": 64}),
+    ("RI(4-way)", "ri", {"sets": 64, "ways": 4}),
+    ("DIR(4-way)", "dir", {"sets": 64, "ways": 4}),
+)
 
 
 def main():
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", type=float, default=0.15)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS)")
+    args = parser.parse_args()
+
+    base_jobs = {name: SimJob(name, "baseline", args.scale)
+                 for name in suite_names("gap")}
+    config_jobs = {(name, label): SimJob(name, kind, args.scale, params)
+                   for name in base_jobs
+                   for label, kind, params in CONFIGS}
+    results = submit(list(base_jobs.values()) + list(config_jobs.values()),
+                     n_jobs=args.jobs)
+
     rows = []
-    for name in suite_names("gap"):
-        base = run_workload(name, "baseline", scale)
-        dci = run_workload(name, "mssr", scale, streams=1, wpb=16, log=64)
-        mssr = run_workload(name, "mssr", scale, streams=4, wpb=16, log=64)
-        ri = run_workload(name, "ri", scale, sets=64, ways=4)
-        dir_ = run_workload(name, "dir", scale, sets=64, ways=4)
-        rows.append([
-            name,
-            "%.3f" % base.ipc,
-            "%+.2f%%" % (100 * (dci.ipc / base.ipc - 1)),
-            "%+.2f%%" % (100 * (mssr.ipc / base.ipc - 1)),
-            "%+.2f%%" % (100 * (ri.ipc / base.ipc - 1)),
-            "%+.2f%%" % (100 * (dir_.ipc / base.ipc - 1)),
-            mssr.reuse_successes,
-            mssr.reconvergences,
-        ])
+    for name in base_jobs:
+        base = results[base_jobs[name]]
+        row = [name, "%.3f" % base.ipc]
+        for label, _kind, _params in CONFIGS:
+            stats = results[config_jobs[(name, label)]]
+            row.append("%+.2f%%" % (100 * (stats.ipc / base.ipc - 1)))
+        mssr = results[config_jobs[(name, "MSSR(4-strm)")]]
+        row += [mssr.reuse_successes, mssr.reconvergences]
+        rows.append(row)
     print(format_table(
-        ["bench", "base IPC", "DCI(1-strm)", "MSSR(4-strm)", "RI(4-way)",
-         "DIR(4-way)", "reused", "reconv"],
-        rows, title="GAP suite, scale=%.2f" % scale))
+        ["bench", "base IPC"] + [label for label, _, _ in CONFIGS]
+        + ["reused", "reconv"],
+        rows, title="GAP suite, scale=%.2f" % args.scale))
 
 
 if __name__ == "__main__":

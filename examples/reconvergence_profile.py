@@ -6,10 +6,13 @@ software-induced / hardware-induced multi-stream cases, and the
 aggregate stream-distance distribution — the two observations that
 motivate tracking multiple squashed streams.
 
-Run:  python examples/reconvergence_profile.py [scale]
+Runs through the simulation harness: results are cached on disk and
+``--jobs N`` (or ``REPRO_JOBS``) parallelises cold simulations.
+
+Run:  python examples/reconvergence_profile.py [scale] [--jobs 4]
 """
 
-import sys
+import argparse
 
 from repro.analysis import (
     fig4_reconvergence_types,
@@ -20,9 +23,14 @@ from repro.analysis.experiments import multi_stream_fraction, distance_cdf
 
 
 def main():
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.12
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", type=float, default=0.12)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS)")
+    args = parser.parse_args()
+    scale = args.scale
 
-    breakdown = fig4_reconvergence_types(scale)
+    breakdown = fig4_reconvergence_types(scale, jobs=args.jobs)
     rows = []
     for name, (simple, software, hardware) in sorted(breakdown.items()):
         rows.append([name,
@@ -42,7 +50,7 @@ def main():
           % (100 * avg, 100 * peak[1], peak[0]))
     print("(paper: average 10%, up to 31%)")
 
-    hist = fig11_stream_distance(scale)
+    hist = fig11_stream_distance(scale, jobs=args.jobs)
     print("\nStream distance CDF (Figure 11):")
     for distance, cum in distance_cdf(hist):
         print("  distance <= %d : %5.1f%%" % (distance, 100 * cum))

@@ -1,4 +1,10 @@
-"""Experiment harness: one entry point per paper table/figure."""
+"""Experiment entry points: one function per paper table/figure.
+
+Every function that simulates submits its full (workload x config)
+batch to :mod:`repro.harness` — deduplicated, memoised in-process,
+persisted to disk (``REPRO_CACHE_DIR``) and parallelised across worker
+processes via the ``jobs=`` knob (default ``REPRO_JOBS``).
+"""
 
 from repro.analysis.experiments import (
     run_workload,

@@ -1,10 +1,17 @@
 """Programmatic reproduction of every table and figure in the paper.
 
-Each ``table*``/``fig*`` function runs the required simulations (with
-in-process result caching, since e.g. the baseline runs are shared
-across experiments) and returns plain data structures; the benchmark
-files under ``benchmarks/`` print and sanity-check them, and
-EXPERIMENTS.md records paper-vs-measured values.
+Each ``table*``/``fig*`` function declares the full set of (workload x
+configuration) points it needs as :class:`~repro.harness.SimJob`
+batches and submits them to the simulation harness in one call, then
+assembles plain data structures from the results. The harness layers an
+in-process memo (shared baseline runs simulate once per process, even
+across figures), an on-disk JSON cache (``REPRO_CACHE_DIR``) and a
+``multiprocessing`` pool (the ``jobs=`` knob, default ``REPRO_JOBS``)
+under every batch — see :mod:`repro.harness`.
+
+The benchmark files under ``benchmarks/`` print and sanity-check the
+returned structures, and EXPERIMENTS.md records paper-vs-measured
+values.
 
 Simulated runs are scaled down from the paper's SimPoint/full-input
 sizes via the ``scale`` parameter — shapes (who wins, where) are the
@@ -13,21 +20,13 @@ reproduction target, not absolute cycle counts.
 
 import math
 
-from repro.pipeline.config import (
-    baseline_config,
-    mssr_config,
-    ri_config,
-)
-from repro.pipeline.core import O3Core
-from repro.workloads import get_workload
+from repro.harness import SimJob, build_config, build_scheme, submit
 from repro.workloads.registry import suite_names
 from repro.hwmodels.storage import StorageModel
 from repro.hwmodels.synthesis import (
     reconvergence_detection_report,
     reuse_test_report,
 )
-
-_RESULT_CACHE = {}
 
 
 def config_for(kind, **params):
@@ -36,46 +35,27 @@ def config_for(kind, **params):
     ``kind``: ``baseline``, ``mssr`` (params: streams, wpb, log) or
     ``ri`` (params: sets, ways).
     """
-    if kind == "baseline":
-        return baseline_config()
-    if kind == "mssr":
-        return mssr_config(num_streams=params.get("streams", 4),
-                           wpb_entries=params.get("wpb", 16),
-                           squash_log_entries=params.get("log", 64))
-    if kind == "ri":
-        return ri_config(num_sets=params.get("sets", 64),
-                         assoc=params.get("ways", 4))
-    if kind == "dir":
-        # DIR plugs in as an explicit scheme object (value-based reuse
-        # needs no core configuration beyond the baseline).
-        return baseline_config()
-    raise ValueError("unknown config kind %r" % kind)
+    return build_config(kind, **params)
 
 
 def _scheme_for(kind, **params):
-    if kind != "dir":
-        return None
-    from repro.baselines.dir_reuse import DynamicInstructionReuse, DIRConfig
-    return DynamicInstructionReuse(DIRConfig(
-        num_sets=params.get("sets", 64), assoc=params.get("ways", 4)))
+    return build_scheme(kind, **params)
 
 
-def run_workload(name, kind="baseline", scale=0.15, **params):
+def _mssr_job(name, scale, streams, wpb, log):
+    return SimJob(name, "mssr", scale,
+                  {"streams": streams, "wpb": wpb, "log": log})
+
+
+def run_workload(name, kind="baseline", scale=0.15, jobs=None, **params):
     """Simulate one workload under one configuration; returns SimStats.
 
-    ``kind``: ``baseline``, ``mssr``, ``ri`` or ``dir``. Results are
-    cached per (workload, scale, config) for the lifetime of the process.
+    ``kind``: ``baseline``, ``mssr``, ``ri`` or ``dir``. A thin wrapper
+    over the batch harness: results are memoised per job hash for the
+    process lifetime and persisted to the on-disk cache.
     """
-    key = (name, round(scale, 6), kind, tuple(sorted(params.items())))
-    if key in _RESULT_CACHE:
-        return _RESULT_CACHE[key]
-    workload = get_workload(name)
-    _mod, prog = workload.build(scale)
-    config = config_for(kind, **params)
-    scheme = _scheme_for(kind, **params)
-    result = O3Core(prog, config, reuse_scheme=scheme).run()
-    _RESULT_CACHE[key] = result.stats
-    return result.stats
+    job = SimJob(name, kind, scale, params)
+    return submit([job], n_jobs=jobs)[job]
 
 
 def speedup(stats, base_stats):
@@ -94,24 +74,34 @@ def geomean_improvement(improvements):
 # ---------------------------------------------------------------------------
 # Table 1: microbenchmark speedups, MSSR streams vs RI associativity
 # ---------------------------------------------------------------------------
-def table1_microbench(scale=0.2):
+def table1_microbench(scale=0.2, jobs=None):
     """Returns {bench: {("mssr", n): improvement, ("ri", w): improvement}}.
 
     Matches the paper's setup: MSSR tracks 1/2/4 streams of up to 64
     instructions; RI uses a 64-set table with 1/2/4 ways (capacity-
     matched).
     """
+    benches = ("nested-mispred", "linear-mispred")
+    base_jobs = {bench: SimJob(bench, "baseline", scale)
+                 for bench in benches}
+    mssr_jobs = {(bench, streams): _mssr_job(bench, scale, streams, 16, 64)
+                 for bench in benches for streams in (1, 2, 4)}
+    ri_jobs = {(bench, ways): SimJob(bench, "ri", scale,
+                                     {"sets": 64, "ways": ways})
+               for bench in benches for ways in (1, 2, 4)}
+    results = submit(list(base_jobs.values()) + list(mssr_jobs.values())
+                     + list(ri_jobs.values()), n_jobs=jobs)
+
     out = {}
-    for bench in ("nested-mispred", "linear-mispred"):
-        base = run_workload(bench, "baseline", scale)
+    for bench in benches:
+        base = results[base_jobs[bench]]
         row = {}
         for streams in (1, 2, 4):
-            stats = run_workload(bench, "mssr", scale,
-                                 streams=streams, wpb=16, log=64)
-            row[("mssr", streams)] = speedup(stats, base)
+            row[("mssr", streams)] = speedup(
+                results[mssr_jobs[(bench, streams)]], base)
         for ways in (1, 2, 4):
-            stats = run_workload(bench, "ri", scale, sets=64, ways=ways)
-            row[("ri", ways)] = speedup(stats, base)
+            row[("ri", ways)] = speedup(
+                results[ri_jobs[(bench, ways)]], base)
         out[bench] = row
     return out
 
@@ -119,31 +109,33 @@ def table1_microbench(scale=0.2):
 # ---------------------------------------------------------------------------
 # Figure 3: RI reuse-table replacement frequencies
 # ---------------------------------------------------------------------------
-def fig3_ri_replacements(scale=0.2, num_sets=64):
+def fig3_ri_replacements(scale=0.2, num_sets=64, jobs=None):
     """Returns {(bench, ways): per-set replacement count list}."""
-    out = {}
-    for bench in ("nested-mispred", "linear-mispred"):
-        for ways in (1, 2, 4):
-            stats = run_workload(bench, "ri", scale,
-                                 sets=num_sets, ways=ways)
-            out[(bench, ways)] = list(stats.ri_set_replacements or
-                                      [0] * num_sets)
-    return out
+    jobset = {(bench, ways): SimJob(bench, "ri", scale,
+                                    {"sets": num_sets, "ways": ways})
+              for bench in ("nested-mispred", "linear-mispred")
+              for ways in (1, 2, 4)}
+    results = submit(list(jobset.values()), n_jobs=jobs)
+    return {key: list(results[job].ri_set_replacements)
+            for key, job in jobset.items()}
 
 
 # ---------------------------------------------------------------------------
 # Figure 4: reconvergence-type breakdown (and the intro's "10% avg / 31%
 # max missed by single-stream" statistic)
 # ---------------------------------------------------------------------------
-def fig4_reconvergence_types(scale=0.15, workloads=None):
+def fig4_reconvergence_types(scale=0.15, workloads=None, jobs=None):
     """Returns {workload: (simple, software, hardware)} as fractions."""
     if workloads is None:
         workloads = (suite_names("spec2006") + suite_names("spec2017")
                      + suite_names("gap"))
+    jobset = {name: _mssr_job(name, scale, 4, 16, 64)
+              for name in workloads}
+    results = submit(list(jobset.values()), n_jobs=jobs)
+
     out = {}
     for name in workloads:
-        stats = run_workload(name, "mssr", scale,
-                             streams=4, wpb=16, log=64)
+        stats = results[jobset[name]]
         total = (stats.reconv_simple + stats.reconv_software
                  + stats.reconv_hardware)
         if total == 0:
@@ -175,18 +167,27 @@ FIG10_UPPER_BOUND = (4, 1024)
 
 
 def fig10_ipc_sweep(scale=0.12, suites=("spec2006", "spec2017", "gap"),
-                    configs=FIG10_CONFIGS):
+                    configs=FIG10_CONFIGS, jobs=None):
     """Returns {suite: {workload: {(streams, wpb): ipc_improvement}}}."""
+    base_jobs = {}
+    point_jobs = {}
+    for suite in suites:
+        for workload in suite_names(suite):
+            base_jobs[workload] = SimJob(workload, "baseline", scale)
+            for streams, wpb in configs:
+                point_jobs[(workload, streams, wpb)] = _mssr_job(
+                    workload, scale, streams, wpb, min(4 * wpb, 4096))
+    results = submit(list(base_jobs.values()) + list(point_jobs.values()),
+                     n_jobs=jobs)
+
     out = {}
     for suite in suites:
         suite_out = {}
         for workload in suite_names(suite):
-            base = run_workload(workload, "baseline", scale)
+            base = results[base_jobs[workload]]
             row = {}
             for streams, wpb in configs:
-                stats = run_workload(workload, "mssr", scale,
-                                     streams=streams, wpb=wpb,
-                                     log=min(4 * wpb, 4096))
+                stats = results[point_jobs[(workload, streams, wpb)]]
                 row[(streams, wpb)] = stats.ipc / base.ipc - 1.0
             suite_out[workload] = row
         out[suite] = suite_out
@@ -209,7 +210,8 @@ def fig10_suite_averages(sweep):
 # ---------------------------------------------------------------------------
 # Figure 11: reconvergence stream distance
 # ---------------------------------------------------------------------------
-def fig11_stream_distance(scale=0.12, workloads=None, streams=8):
+def fig11_stream_distance(scale=0.12, workloads=None, streams=8,
+                          jobs=None):
     """Aggregated stream-distance histogram {distance: count}.
 
     Uses a deep (8-stream) configuration so distances beyond the default
@@ -218,11 +220,13 @@ def fig11_stream_distance(scale=0.12, workloads=None, streams=8):
     if workloads is None:
         workloads = (suite_names("spec2006") + suite_names("spec2017")
                      + suite_names("gap"))
+    jobset = [_mssr_job(name, scale, streams, 16, 64)
+              for name in workloads]
+    results = submit(jobset, n_jobs=jobs)
+
     hist = {}
-    for name in workloads:
-        stats = run_workload(name, "mssr", scale,
-                             streams=streams, wpb=16, log=64)
-        for distance, count in stats.stream_distance_hist.items():
+    for job in jobset:
+        for distance, count in results[job].stream_distance_hist.items():
             hist[distance] = hist.get(distance, 0) + count
     return hist
 
@@ -245,26 +249,37 @@ def fig12_rgid_vs_ri(scale=0.12,
                      rgid_configs=((1, 64), (2, 64), (4, 64),
                                    (1, 128), (2, 128), (4, 128)),
                      ri_configs=((64, 1), (64, 2), (64, 4),
-                                 (128, 1), (128, 2), (128, 4))):
+                                 (128, 1), (128, 2), (128, 4)),
+                     jobs=None):
     """Returns {workload: {"rgid (n,p)": imp, "ri (sets,ways)": imp}}.
 
     ``rgid_configs`` are (streams, log entries); WPB entries are one
     quarter of the log size (Section 4.1.2). ``ri_configs`` are
     (sets, ways) — total entries are capacity-matched against RGID.
     """
+    workloads = suite_names("gap")
+    base_jobs = {name: SimJob(name, "baseline", scale)
+                 for name in workloads}
+    rgid_jobs = {(name, streams, log): _mssr_job(
+                     name, scale, streams, max(4, log // 4), log)
+                 for name in workloads for streams, log in rgid_configs}
+    ri_jobs = {(name, sets, ways): SimJob(name, "ri", scale,
+                                          {"sets": sets, "ways": ways})
+               for name in workloads for sets, ways in ri_configs}
+    results = submit(list(base_jobs.values()) + list(rgid_jobs.values())
+                     + list(ri_jobs.values()), n_jobs=jobs)
+
     out = {}
-    for workload in suite_names("gap"):
-        base = run_workload(workload, "baseline", scale)
+    for name in workloads:
+        base = results[base_jobs[name]]
         row = {}
         for streams, log in rgid_configs:
-            stats = run_workload(workload, "mssr", scale, streams=streams,
-                                 wpb=max(4, log // 4), log=log)
+            stats = results[rgid_jobs[(name, streams, log)]]
             row[("rgid", streams, log)] = stats.ipc / base.ipc - 1.0
         for sets, ways in ri_configs:
-            stats = run_workload(workload, "ri", scale,
-                                 sets=sets, ways=ways)
+            stats = results[ri_jobs[(name, sets, ways)]]
             row[("ri", sets, ways)] = stats.ipc / base.ipc - 1.0
-        out[workload] = row
+        out[name] = row
     return out
 
 

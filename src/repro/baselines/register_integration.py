@@ -56,6 +56,13 @@ class RegisterIntegration(ReuseScheme):
         self._entries_by_id = {}     # id(entry) -> entry
         self.set_replacements = [0] * self.num_sets
 
+    def attach(self, core):
+        """Publish the per-set replacement counters immediately: Figure 3
+        reads ``ri_set_replacements`` unconditionally, so the list must
+        exist (all zeros included) even for runs that never replace."""
+        super().attach(core)
+        core.stats.ri_set_replacements = self.set_replacements
+
     # ------------------------------------------------------------------
     def _set_for(self, pc):
         return (pc >> 2) % self.num_sets

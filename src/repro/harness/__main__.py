@@ -1,0 +1,7 @@
+"""``python -m repro.harness`` entry point."""
+
+import sys
+
+from repro.harness.cli import main
+
+sys.exit(main())

@@ -1,0 +1,149 @@
+"""On-disk result cache for simulation jobs.
+
+Results are stored one JSON file per job under
+``<cache dir>/<code fingerprint>/<job hash>.json``. The fingerprint
+hashes every ``.py`` source file in the ``repro`` package, so editing
+the simulator (or a workload) automatically invalidates all cached
+results without any manual versioning.
+
+The cache directory defaults to ``$XDG_CACHE_HOME/repro-sim`` (or
+``~/.cache/repro-sim``) and is overridable via ``REPRO_CACHE_DIR``.
+Setting ``REPRO_CACHE_DIR`` to ``0``, ``off`` or the empty string
+disables disk caching entirely.
+
+All I/O failures degrade to cache misses — a broken or read-only cache
+never breaks an experiment, it only costs re-simulation.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+_DISABLE_VALUES = ("", "0", "off", "none", "disabled")
+
+_FINGERPRINT = None
+
+
+def code_fingerprint():
+    """Hash of every ``.py`` file in the repro package (cached per
+    process)."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+        base = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(base)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, base).encode("utf-8"))
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def default_cache_dir():
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-sim")
+
+
+class ResultCache:
+    """JSON result store keyed by job hash + code fingerprint.
+
+    Tracks ``hits`` / ``misses`` / ``stores`` counters so tests (and the
+    batch runner's reports) can verify that a warm cache performs zero
+    new simulations.
+    """
+
+    def __init__(self, directory=None, fingerprint=None):
+        self.directory = directory or default_cache_dir()
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @classmethod
+    def from_env(cls):
+        """Cache configured by ``REPRO_CACHE_DIR`` (None if disabled)."""
+        raw = os.environ.get("REPRO_CACHE_DIR")
+        if raw is not None and raw.strip().lower() in _DISABLE_VALUES:
+            return None
+        return cls(directory=raw or None)
+
+    # ------------------------------------------------------------------
+    def _path(self, job):
+        return os.path.join(self.directory, self.fingerprint,
+                            job.job_hash() + ".json")
+
+    def get(self, job):
+        """Stats dict for ``job``, or None on a miss."""
+        try:
+            with open(self._path(job), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            stats = entry["stats"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, job, stats_dict):
+        """Persist a result; failures are silently ignored."""
+        path = self._path(job)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            # Atomic publish: never leave a torn JSON file behind.
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump({"job": job.spec(), "stats": stats_dict},
+                              handle, sort_keys=True)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            return
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def entries(self):
+        """Number of results stored for the current fingerprint."""
+        try:
+            names = os.listdir(os.path.join(self.directory,
+                                            self.fingerprint))
+        except OSError:
+            return 0
+        return sum(1 for name in names if name.endswith(".json"))
+
+    def clear(self, all_fingerprints=False):
+        """Drop cached results (current fingerprint only by default).
+        Returns the number of entries removed."""
+        removed = 0
+        if all_fingerprints:
+            try:
+                roots = [os.path.join(self.directory, d)
+                         for d in os.listdir(self.directory)]
+            except OSError:
+                return 0
+        else:
+            roots = [os.path.join(self.directory, self.fingerprint)]
+        for root in roots:
+            try:
+                names = os.listdir(root)
+            except OSError:
+                continue
+            for name in names:
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(root, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

@@ -1,0 +1,160 @@
+"""Command-line front end for the simulation harness.
+
+Reproduce single points (or small sweeps) without pytest::
+
+    python -m repro.harness run --workload bfs --kind mssr --streams 4
+    python -m repro.harness run --workload bfs --workload cc --jobs 8 --json
+    python -m repro.harness list
+    python -m repro.harness cache --clear
+"""
+
+import argparse
+import json
+import sys
+
+from repro.harness.cache import ResultCache, code_fingerprint
+from repro.harness.jobs import KIND_PARAMS, SimJob
+from repro.harness.runner import run_batch
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Run paper-reproduction simulations as declarative "
+                    "jobs with parallel execution and disk caching.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one or more jobs")
+    run.add_argument("--workload", action="append", required=True,
+                     help="workload name (repeatable), or suite:<name> "
+                          "to expand a whole suite")
+    run.add_argument("--kind", default="baseline",
+                     choices=sorted(KIND_PARAMS),
+                     help="configuration kind (default: baseline)")
+    run.add_argument("--scale", type=float, default=0.15,
+                     help="workload scale factor (default: 0.15)")
+    run.add_argument("--streams", type=int, help="MSSR stream count")
+    run.add_argument("--wpb", type=int, help="MSSR WPB entries/stream")
+    run.add_argument("--log", type=int, help="MSSR squash-log entries")
+    run.add_argument("--sets", type=int, help="RI/DIR table sets")
+    run.add_argument("--ways", type=int, help="RI/DIR associativity")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="worker processes (default: REPRO_JOBS or 1)")
+    run.add_argument("--max-cycles", type=int, default=None,
+                     help="per-job simulated-cycle guard")
+    run.add_argument("--wall-timeout", type=float, default=None,
+                     help="per-job wall-clock guard in seconds")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the on-disk result cache")
+    run.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit full stats as JSON instead of summaries")
+
+    lst = sub.add_parser("list", help="list registered workloads")
+    lst.add_argument("--suite", help="restrict to one suite")
+
+    cache = sub.add_parser("cache", help="inspect the on-disk cache")
+    cache.add_argument("--clear", action="store_true",
+                       help="drop cached results for the current code "
+                            "fingerprint")
+    return parser
+
+
+def _collect_params(args):
+    params = {}
+    for key in ("streams", "wpb", "log", "sets", "ways"):
+        value = getattr(args, key, None)
+        if value is not None:
+            params[key] = value
+    return params
+
+
+def _expand_workloads(names):
+    from repro.workloads.registry import get_workload, suite_names
+    out = []
+    for name in names:
+        if name.startswith("suite:"):
+            out.extend(suite_names(name[len("suite:"):]))
+        else:
+            get_workload(name)   # fail fast on unknown names
+            out.append(name)
+    return out
+
+
+def _cmd_run(args, out):
+    try:
+        workloads = _expand_workloads(args.workload)
+        jobset = [SimJob(name, args.kind, args.scale,
+                         _collect_params(args),
+                         max_cycles=args.max_cycles,
+                         wall_seconds=args.wall_timeout)
+                  for name in workloads]
+    except (KeyError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    from repro.harness.runner import JobFailure
+    try:
+        report = run_batch(jobset, n_jobs=args.jobs,
+                           cache=False if args.no_cache else None)
+    except JobFailure as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+    if args.as_json:
+        payload = [{"job": job.spec(),
+                    "job_hash": job.job_hash(),
+                    "stats": report.results[job].as_dict()}
+                   for job in jobset]
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        for job in jobset:
+            out.write("%-40s %s\n" % (job.label(),
+                                      report.results[job].summary()))
+    out.write("# %s\n" % report.summary())
+    return 0
+
+
+def _cmd_list(args, out):
+    from repro.workloads.registry import SUITES, get_workload, \
+        suite_names, workload_names
+    if args.suite:
+        try:
+            names = suite_names(args.suite)
+        except KeyError:
+            print("error: unknown suite %r (have: %s)"
+                  % (args.suite, ", ".join(sorted(SUITES))),
+                  file=sys.stderr)
+            return 2
+    else:
+        names = workload_names()
+    for name in names:
+        workload = get_workload(name)
+        out.write("%-18s %-10s %s\n" % (name, workload.suite,
+                                        workload.description))
+    return 0
+
+
+def _cmd_cache(args, out):
+    cache = ResultCache.from_env() or ResultCache()
+    if args.clear:
+        removed = cache.clear()
+        out.write("removed %d cached result(s)\n" % removed)
+    out.write("cache dir   : %s\n" % cache.directory)
+    out.write("fingerprint : %s\n" % code_fingerprint())
+    out.write("entries     : %d\n" % cache.entries())
+    return 0
+
+
+def main(argv=None, out=None):
+    args = _build_parser().parse_args(argv)
+    out = out or sys.stdout
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "list":
+        return _cmd_list(args, out)
+    return _cmd_cache(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Declarative simulation jobs.
+
+A :class:`SimJob` names everything needed to reproduce one simulated
+point — workload, configuration kind, scale and scheme parameters — as
+plain picklable data. Jobs have a canonical stable hash, so identical
+points are deduplicated within a batch, memoised across experiments in
+one process, and persisted across processes by the on-disk result cache
+(:mod:`repro.harness.cache`).
+
+Workers rebuild the program and configuration from the job spec and
+return :class:`~repro.pipeline.stats.SimStats` as a plain dict, so a
+job's full lifecycle (submit, transport, persist) never relies on
+process-local state.
+"""
+
+import dataclasses
+import hashlib
+import json
+import signal
+import threading
+from typing import Optional, Tuple
+
+#: Scheme parameters accepted per configuration kind.
+KIND_PARAMS = {
+    "baseline": (),
+    "mssr": ("streams", "wpb", "log"),
+    "ri": ("sets", "ways"),
+    "dir": ("sets", "ways"),
+}
+
+
+class JobTimeout(Exception):
+    """A job exceeded its wall-clock guard."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SimJob:
+    """One (workload, configuration) simulation point.
+
+    ``params`` may be given as a dict; it is canonicalised to a sorted
+    tuple of pairs so equal jobs compare and hash equal regardless of
+    keyword order. ``max_cycles`` and ``wall_seconds`` are safety guards
+    only — a guarded run either produces the exact same stats or fails —
+    so they are excluded from the job hash.
+    """
+
+    workload: str
+    kind: str = "baseline"
+    scale: float = 0.15
+    params: Tuple = ()
+    max_cycles: Optional[int] = None
+    wall_seconds: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in KIND_PARAMS:
+            raise ValueError("unknown config kind %r (have: %s)"
+                             % (self.kind, ", ".join(sorted(KIND_PARAMS))))
+        params = self.params
+        if isinstance(params, dict):
+            params = tuple(sorted(params.items()))
+        else:
+            params = tuple(sorted(tuple(pair) for pair in params))
+        allowed = KIND_PARAMS[self.kind]
+        for key, _value in params:
+            if key not in allowed:
+                raise ValueError(
+                    "parameter %r not valid for kind %r (allowed: %s)"
+                    % (key, self.kind, ", ".join(allowed) or "none"))
+        object.__setattr__(self, "params", params)
+        object.__setattr__(self, "scale", round(float(self.scale), 6))
+
+    # ------------------------------------------------------------------
+    @property
+    def param_dict(self):
+        return dict(self.params)
+
+    def spec(self):
+        """Canonical JSON-able description (hash input)."""
+        return {
+            "workload": self.workload,
+            "kind": self.kind,
+            "scale": self.scale,
+            "params": [[k, v] for k, v in self.params],
+        }
+
+    def job_hash(self):
+        blob = json.dumps(self.spec(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+    def label(self):
+        params = " ".join("%s=%s" % kv for kv in self.params)
+        return "%s/%s%s%s" % (self.workload, self.kind,
+                              " " if params else "", params)
+
+    def __repr__(self):
+        return "<SimJob %s scale=%s>" % (self.label(), self.scale)
+
+
+# ---------------------------------------------------------------------------
+# Config / scheme construction (the single source of truth; the legacy
+# ``repro.analysis.config_for`` delegates here).
+# ---------------------------------------------------------------------------
+def build_config(kind, **params):
+    """Build a named core configuration.
+
+    ``kind``: ``baseline``, ``mssr`` (params: streams, wpb, log),
+    ``ri`` (params: sets, ways) or ``dir`` (scheme object on a baseline
+    core, params: sets, ways).
+    """
+    from repro.pipeline.config import baseline_config, mssr_config, \
+        ri_config
+    if kind == "baseline":
+        return baseline_config()
+    if kind == "mssr":
+        return mssr_config(num_streams=params.get("streams", 4),
+                           wpb_entries=params.get("wpb", 16),
+                           squash_log_entries=params.get("log", 64))
+    if kind == "ri":
+        return ri_config(num_sets=params.get("sets", 64),
+                         assoc=params.get("ways", 4))
+    if kind == "dir":
+        # DIR plugs in as an explicit scheme object (value-based reuse
+        # needs no core configuration beyond the baseline).
+        return baseline_config()
+    raise ValueError("unknown config kind %r" % kind)
+
+
+def build_scheme(kind, **params):
+    """Explicit reuse-scheme object for kinds the config can't express."""
+    if kind != "dir":
+        return None
+    from repro.baselines.dir_reuse import DynamicInstructionReuse, DIRConfig
+    return DynamicInstructionReuse(DIRConfig(
+        num_sets=params.get("sets", 64), assoc=params.get("ways", 4)))
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+class _WallClock:
+    """SIGALRM-based wall-clock guard (no-op off the main thread or on
+    platforms without SIGALRM)."""
+
+    def __init__(self, seconds):
+        self.seconds = seconds
+        self._armed = False
+        self._old = None
+
+    def __enter__(self):
+        if (not self.seconds or not hasattr(signal, "SIGALRM")
+                or threading.current_thread()
+                is not threading.main_thread()):
+            return self
+
+        def _expired(_signum, _frame):
+            raise JobTimeout("wall clock guard (%.1fs) expired"
+                             % self.seconds)
+
+        self._old = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, float(self.seconds))
+        self._armed = True
+        return self
+
+    def __exit__(self, *_exc):
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._old)
+        return False
+
+
+def execute(job):
+    """Run one job in this process; returns a fresh ``SimStats``.
+
+    Workers (and the serial fallback) both come through here, so the
+    parallel and serial paths are the same code modulo transport.
+    """
+    from repro.pipeline.core import O3Core
+    from repro.workloads import get_workload
+
+    with _WallClock(job.wall_seconds):
+        workload = get_workload(job.workload)
+        _mod, prog = workload.build(job.scale)
+        params = job.param_dict
+        config = build_config(job.kind, **params)
+        scheme = build_scheme(job.kind, **params)
+        core = O3Core(prog, config, reuse_scheme=scheme)
+        result = core.run(max_cycles=job.max_cycles)
+    return result.stats

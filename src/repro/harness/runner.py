@@ -1,0 +1,209 @@
+"""Batch execution of simulation jobs with layered caching.
+
+Resolution order for each job in a batch:
+
+1. **in-process memo** — SimStats objects already produced this process
+   (shared across every experiment, so e.g. the baseline runs Figures
+   10 and 12 both need are simulated once);
+2. **disk cache** — results persisted by previous processes
+   (:mod:`repro.harness.cache`), keyed by job hash + code fingerprint;
+3. **simulation** — remaining jobs are deduplicated and fanned out over
+   a ``multiprocessing`` pool (``REPRO_JOBS`` workers by default).
+   Workers rebuild programs from the job spec and ship stats back as
+   plain dicts; the serial path round-trips through the same dict
+   representation so parallel and serial batches are byte-identical.
+
+Per-job failures are captured, not propagated mid-batch: every job
+either yields stats or an error entry, and ``strict`` batches raise a
+single :class:`JobFailure` naming all failed jobs at the end.
+"""
+
+import os
+import traceback
+
+from repro.harness.cache import ResultCache
+from repro.harness.jobs import SimJob  # noqa: F401  (re-export)
+from repro.harness.jobs import execute
+from repro.pipeline.stats import SimStats
+
+#: job hash -> SimStats; process-lifetime memo (layer 1).
+_MEMO = {}
+
+_LAST_REPORT = None
+
+
+class JobFailure(Exception):
+    """One or more jobs in a strict batch failed."""
+
+    def __init__(self, errors):
+        self.errors = dict(errors)
+        lines = ["%d job(s) failed:" % len(self.errors)]
+        for job, message in self.errors.items():
+            first = message.strip().splitlines()[-1] if message else "?"
+            lines.append("  %s: %s" % (job.label(), first))
+        super().__init__("\n".join(lines))
+
+
+class BatchReport:
+    """Outcome of one :func:`run_batch` call."""
+
+    def __init__(self, jobs):
+        self.jobs = list(jobs)
+        self.results = {}        # SimJob -> SimStats (or None on error)
+        self.errors = {}         # SimJob -> traceback string
+        self.executed = 0        # simulations actually run
+        self.memo_hits = 0
+        self.disk_hits = 0
+
+    @property
+    def total(self):
+        return len(self.jobs)
+
+    def summary(self):
+        return ("jobs=%d executed=%d memo_hits=%d disk_hits=%d errors=%d"
+                % (self.total, self.executed, self.memo_hits,
+                   self.disk_hits, len(self.errors)))
+
+
+def default_jobs():
+    """Worker count from ``REPRO_JOBS`` (0 means all CPUs; default 1)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    if value <= 0:
+        return os.cpu_count() or 1
+    return value
+
+
+def _run_one(job):
+    """Execute one job; returns ``(job_hash, ok, payload)`` where the
+    payload is a stats dict on success or a traceback string on error.
+    Runs in pool workers and in the serial fallback alike."""
+    try:
+        stats = execute(job)
+        return job.job_hash(), True, stats.as_dict()
+    except Exception:
+        return job.job_hash(), False, traceback.format_exc()
+
+
+def _pool_context():
+    import multiprocessing
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def run_batch(jobs, n_jobs=None, cache=None, progress=None, strict=True,
+              memo=_MEMO):
+    """Resolve a batch of :class:`SimJob`; returns a :class:`BatchReport`.
+
+    ``n_jobs``: worker processes (defaults to ``REPRO_JOBS``, serial if
+    unset). ``cache``: a :class:`ResultCache`, ``None`` for the
+    environment default, or ``False`` to disable disk caching.
+    ``progress``: optional callable ``(done, total, job, source)`` with
+    source one of ``memo``/``disk``/``run``/``error``. ``strict``:
+    raise :class:`JobFailure` if any job failed (otherwise failed jobs
+    resolve to ``None`` stats).
+    """
+    global _LAST_REPORT
+    jobs = list(jobs)
+    if cache is None:
+        cache = ResultCache.from_env()
+    n_jobs = n_jobs if n_jobs is not None else default_jobs()
+    n_jobs = max(1, int(n_jobs))
+
+    report = BatchReport(jobs)
+    _LAST_REPORT = report
+    if memo is None:
+        memo = {}
+
+    unique = {}                   # job_hash -> first SimJob instance
+    for job in jobs:
+        unique.setdefault(job.job_hash(), job)
+    resolved = {}                 # job_hash -> SimStats
+    failed = {}                   # job_hash -> traceback string
+    done = [0]
+
+    def _note(job, source):
+        done[0] += 1
+        if progress is not None:
+            progress(done[0], len(unique), job, source)
+
+    pending = []
+    for job_hash, job in unique.items():
+        if job_hash in memo:
+            resolved[job_hash] = memo[job_hash]
+            report.memo_hits += 1
+            _note(job, "memo")
+            continue
+        if cache:
+            stats_dict = cache.get(job)
+            if stats_dict is not None:
+                stats = SimStats.from_dict(stats_dict)
+                memo[job_hash] = stats
+                resolved[job_hash] = stats
+                report.disk_hits += 1
+                _note(job, "disk")
+                continue
+        pending.append(job)
+
+    def _absorb(job, job_hash, ok, payload):
+        if ok:
+            stats = SimStats.from_dict(payload)
+            memo[job_hash] = stats
+            resolved[job_hash] = stats
+            report.executed += 1
+            if cache:
+                cache.put(job, payload)
+            _note(job, "run")
+        else:
+            failed[job_hash] = payload
+            _note(job, "error")
+
+    if pending:
+        if n_jobs > 1 and len(pending) > 1:
+            by_hash = {job.job_hash(): job for job in pending}
+            ctx = _pool_context()
+            with ctx.Pool(min(n_jobs, len(pending))) as pool:
+                for job_hash, ok, payload in pool.imap_unordered(
+                        _run_one, pending):
+                    _absorb(by_hash[job_hash], job_hash, ok, payload)
+        else:
+            for job in pending:
+                job_hash, ok, payload = _run_one(job)
+                _absorb(job, job_hash, ok, payload)
+
+    for job in jobs:
+        job_hash = job.job_hash()
+        report.results[job] = resolved.get(job_hash)
+        if job_hash in failed:
+            report.errors[job] = failed[job_hash]
+    if report.errors and strict:
+        raise JobFailure(report.errors)
+    return report
+
+
+def submit(jobs, n_jobs=None, cache=None, progress=None, strict=True):
+    """Run a batch and return ``{SimJob: SimStats}``.
+
+    The convenience front door used by the experiment stack: layered
+    caching included, duplicate jobs deduplicated, results keyed by the
+    job objects so call sites index with the jobs they built.
+    """
+    return run_batch(jobs, n_jobs=n_jobs, cache=cache, progress=progress,
+                     strict=strict).results
+
+
+def last_report():
+    """The :class:`BatchReport` of the most recent batch (or None)."""
+    return _LAST_REPORT
+
+
+def clear_memo():
+    """Drop the in-process result memo (mainly for tests)."""
+    _MEMO.clear()

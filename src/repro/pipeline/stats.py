@@ -1,6 +1,11 @@
 """Simulation statistics collected by the core and the reuse schemes."""
 
 
+#: Derived properties included in :meth:`SimStats.as_dict` for human
+#: consumption but recomputed (never loaded) by :meth:`SimStats.from_dict`.
+DERIVED_STATS = ("ipc", "branch_mpki", "cond_mispredict_rate")
+
+
 class SimStats:
     """Flat counter bag with derived metrics."""
 
@@ -61,11 +66,36 @@ class SimStats:
             self.stream_distance_hist.get(distance, 0) + 1
 
     def as_dict(self):
-        data = {name: value for name, value in vars(self).items()}
-        data["ipc"] = self.ipc
-        data["branch_mpki"] = self.branch_mpki
-        data["cond_mispredict_rate"] = self.cond_mispredict_rate
+        """Plain-data snapshot, safe for JSON and worker transport.
+
+        Every value is a JSON-native scalar, list or dict. Note that
+        JSON encoding stringifies the ``stream_distance_hist`` keys;
+        :meth:`from_dict` converts them back to ints.
+        """
+        data = {}
+        for name, value in vars(self).items():
+            if name == "stream_distance_hist":
+                value = {int(k): int(v) for k, v in value.items()}
+            elif isinstance(value, list):
+                value = list(value)
+            data[name] = value
+        for name in DERIVED_STATS:
+            data[name] = getattr(self, name)
         return data
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild stats from :meth:`as_dict` output (possibly after a
+        JSON round-trip). Derived properties are recomputed, not loaded;
+        histogram keys are restored to ints."""
+        stats = cls()
+        for name, value in data.items():
+            if name in DERIVED_STATS:
+                continue
+            if name == "stream_distance_hist":
+                value = {int(k): int(v) for k, v in value.items()}
+            setattr(stats, name, value)
+        return stats
 
     def summary(self):
         return ("cycles=%d insts=%d IPC=%.3f mpki=%.2f "

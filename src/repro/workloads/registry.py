@@ -35,14 +35,26 @@ SUITES = {"micro": [], "gap": [], "spec2006": [], "spec2017": []}
 
 
 def register(name, suite, description=""):
-    """Decorator registering a builder function as a workload."""
+    """Decorator registering a builder function as a workload.
+
+    Names must be globally unique; suites are created on first use, and
+    ``suite_names`` preserves registration order within each suite.
+    """
     def wrap(builder):
         if name in _REGISTRY:
             raise ValueError("duplicate workload %r" % name)
         _REGISTRY[name] = Workload(name, suite, builder, description)
-        SUITES[suite].append(name)
+        SUITES.setdefault(suite, []).append(name)
         return builder
     return wrap
+
+
+def unregister(name):
+    """Remove a workload (for tests and interactive experimentation)."""
+    workload = _REGISTRY.pop(name, None)
+    if workload is None:
+        raise KeyError("unknown workload %r" % name)
+    SUITES.get(workload.suite, []).remove(name)
 
 
 def _ensure_loaded():

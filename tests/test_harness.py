@@ -1,0 +1,218 @@
+"""The parallel, disk-persistent simulation harness."""
+
+import io
+import json
+
+import pytest
+
+from repro.harness import (
+    JobFailure,
+    ResultCache,
+    SimJob,
+    clear_memo,
+    code_fingerprint,
+    execute,
+    last_report,
+    run_batch,
+    submit,
+)
+from repro.harness.cli import main as cli_main
+from repro.harness.runner import default_jobs
+from repro.pipeline.stats import SimStats
+
+_SCALE = 0.05
+
+
+def _stats_blob(stats):
+    return json.dumps(stats.as_dict(), sort_keys=True)
+
+
+@pytest.fixture
+def tmp_cache(tmp_path, monkeypatch):
+    """Isolated disk cache + env for one test."""
+    cache_dir = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    return ResultCache(directory=str(cache_dir))
+
+
+# ---------------------------------------------------------------------------
+# Layered caching
+# ---------------------------------------------------------------------------
+def test_memo_returns_identical_object(tmp_cache):
+    job = SimJob("linear-mispred", "baseline", _SCALE)
+    a = submit([job])[job]
+    b = submit([job])[job]
+    assert a is b
+    assert last_report().memo_hits == 1
+    assert last_report().executed == 0
+
+
+def test_batch_dedupes_identical_jobs(tmp_cache):
+    jobs = [SimJob("linear-mispred", "baseline", _SCALE)
+            for _ in range(5)]
+    clear_memo()
+    report = run_batch(jobs, cache=tmp_cache)
+    assert report.total == 5
+    assert report.executed == 1
+    stats = {id(report.results[job]) for job in jobs}
+    assert len(stats) == 1
+
+
+def test_disk_cache_survives_memo_clear(tmp_cache):
+    job = SimJob("linear-mispred", "mssr", _SCALE,
+                 {"streams": 2, "wpb": 16, "log": 64})
+    clear_memo()
+    first = run_batch([job], cache=tmp_cache)
+    assert first.executed == 1
+    assert tmp_cache.stores == 1
+
+    clear_memo()   # simulate a fresh process
+    second = run_batch([job], cache=tmp_cache)
+    assert second.executed == 0
+    assert second.disk_hits == 1
+    assert tmp_cache.hits == 1
+    assert _stats_blob(first.results[job]) == \
+        _stats_blob(second.results[job])
+
+
+def test_warm_cache_reruns_fig10_with_zero_simulations(tmp_cache):
+    """Acceptance: a warm disk cache turns the Figure 10 sweep into
+    pure cache hits — zero new simulations on a rerun."""
+    from repro.analysis import fig10_ipc_sweep
+
+    kwargs = dict(scale=_SCALE, suites=("micro",),
+                  configs=((1, 16), (2, 16)))
+    clear_memo()
+    cold = fig10_ipc_sweep(**kwargs)
+    cold_report = last_report()
+    assert cold_report.executed == cold_report.total > 0
+
+    clear_memo()   # fresh process: only the disk cache remains warm
+    warm = fig10_ipc_sweep(**kwargs)
+    warm_report = last_report()
+    assert warm_report.executed == 0
+    assert warm_report.disk_hits == warm_report.total
+    assert cold == warm
+
+
+def test_code_fingerprint_partitions_cache(tmp_path):
+    job = SimJob("linear-mispred", "baseline", _SCALE)
+    stats = execute(job).as_dict()
+    old = ResultCache(directory=str(tmp_path), fingerprint="old-code")
+    old.put(job, stats)
+    assert old.get(job) == stats
+    new = ResultCache(directory=str(tmp_path), fingerprint="new-code")
+    assert new.get(job) is None   # changed code never reads stale results
+    assert new.misses == 1
+    assert len(code_fingerprint()) == 16
+
+
+def test_cache_disabled_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+    assert ResultCache.from_env() is None
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+    cache = ResultCache.from_env()
+    assert cache is not None and cache.directory == "/tmp/somewhere"
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution
+# ---------------------------------------------------------------------------
+def test_parallel_matches_serial_byte_for_byte():
+    jobs = [SimJob("linear-mispred", "mssr", _SCALE,
+                   {"streams": s, "wpb": 16, "log": 64})
+            for s in (1, 2, 4)]
+    serial = run_batch(jobs, n_jobs=1, cache=False, memo=None)
+    parallel = run_batch(jobs, n_jobs=4, cache=False, memo=None)
+    assert parallel.executed == len(jobs)
+    for job in jobs:
+        assert _stats_blob(serial.results[job]) == \
+            _stats_blob(parallel.results[job])
+
+
+def test_default_jobs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert default_jobs() == 6
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert default_jobs() >= 1
+    monkeypatch.setenv("REPRO_JOBS", "garbage")
+    assert default_jobs() == 1
+
+
+# ---------------------------------------------------------------------------
+# Error capture and guards
+# ---------------------------------------------------------------------------
+def test_job_errors_are_captured_per_job():
+    good = SimJob("linear-mispred", "baseline", _SCALE)
+    bad = SimJob("no-such-workload", "baseline", _SCALE)
+    report = run_batch([good, bad], cache=False, memo=None, strict=False)
+    assert isinstance(report.results[good], SimStats)
+    assert report.results[bad] is None
+    assert "no-such-workload" in report.errors[bad]
+
+    with pytest.raises(JobFailure) as err:
+        run_batch([good, bad], cache=False, memo=None)
+    assert bad in err.value.errors
+
+
+def test_max_cycles_guard():
+    job = SimJob("linear-mispred", "baseline", _SCALE, max_cycles=10)
+    report = run_batch([job], cache=False, memo=None, strict=False)
+    assert report.results[job] is None
+    assert "cycle budget exhausted" in report.errors[job]
+
+
+def test_progress_callback(tmp_cache):
+    jobs = [SimJob("linear-mispred", "baseline", _SCALE),
+            SimJob("nested-mispred", "baseline", _SCALE)]
+    seen = []
+    clear_memo()
+    run_batch(jobs, cache=tmp_cache,
+              progress=lambda done, total, job, source:
+              seen.append((done, total, source)))
+    assert [s[:2] for s in seen] == [(1, 2), (2, 2)]
+    assert all(s[2] in ("memo", "disk", "run") for s in seen)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_run_summary(tmp_cache):
+    out = io.StringIO()
+    rc = cli_main(["run", "--workload", "linear-mispred", "--kind",
+                   "mssr", "--streams", "2", "--scale", str(_SCALE)],
+                  out=out)
+    assert rc == 0
+    text = out.getvalue()
+    assert "linear-mispred/mssr streams=2" in text
+    assert "IPC=" in text
+    assert "# jobs=1" in text
+
+
+def test_cli_run_json(tmp_cache):
+    out = io.StringIO()
+    rc = cli_main(["run", "--workload", "linear-mispred", "--scale",
+                   str(_SCALE), "--json"], out=out)
+    assert rc == 0
+    payload = json.loads(out.getvalue().rsplit("#", 1)[0])
+    assert payload[0]["job"]["workload"] == "linear-mispred"
+    assert payload[0]["stats"]["committed_insts"] > 0
+
+
+def test_cli_rejects_unknown_workload(tmp_cache, capsys):
+    rc = cli_main(["run", "--workload", "no-such-thing"], out=io.StringIO())
+    assert rc == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_cli_list_and_cache(tmp_cache, capsys):
+    out = io.StringIO()
+    assert cli_main(["list", "--suite", "micro"], out=out) == 0
+    assert "linear-mispred" in out.getvalue()
+
+    out = io.StringIO()
+    assert cli_main(["cache"], out=out) == 0
+    assert "fingerprint" in out.getvalue()

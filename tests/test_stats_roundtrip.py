@@ -1,0 +1,67 @@
+"""SimStats as_dict/from_dict must survive JSON and worker transport."""
+
+import json
+
+from repro.pipeline.stats import DERIVED_STATS, SimStats
+
+
+def _sample_stats():
+    stats = SimStats()
+    stats.cycles = 1000
+    stats.committed_insts = 2500
+    stats.fetched_insts = 3000
+    stats.cond_branches = 40
+    stats.cond_mispredicts = 10
+    stats.reuse_tests = 25
+    stats.reuse_successes = 17
+    stats.record_stream_distance(1)
+    stats.record_stream_distance(1)
+    stats.record_stream_distance(3)
+    stats.ri_set_replacements = [0, 2, 0, 5]
+    return stats
+
+
+def test_as_dict_includes_derived():
+    stats = _sample_stats()
+    data = stats.as_dict()
+    assert data["ipc"] == stats.ipc == 2.5
+    assert data["branch_mpki"] == stats.branch_mpki
+    assert data["cond_mispredict_rate"] == 0.25
+    assert data["stream_distance_hist"] == {1: 2, 3: 1}
+
+
+def test_json_roundtrip_restores_int_hist_keys():
+    stats = _sample_stats()
+    wire = json.loads(json.dumps(stats.as_dict()))
+    # JSON stringifies dict keys...
+    assert set(wire["stream_distance_hist"]) == {"1", "3"}
+    back = SimStats.from_dict(wire)
+    # ...and from_dict restores them to ints.
+    assert back.stream_distance_hist == {1: 2, 3: 1}
+    assert back.as_dict() == stats.as_dict()
+
+
+def test_from_dict_recomputes_derived():
+    data = _sample_stats().as_dict()
+    for name in DERIVED_STATS:
+        data[name] = -123.0  # bogus values must be ignored on load
+    back = SimStats.from_dict(data)
+    assert back.ipc == 2.5
+    assert back.cond_mispredict_rate == 0.25
+    assert "ipc" not in vars(back)  # property, not a loaded attribute
+
+
+def test_roundtrip_is_idempotent():
+    stats = _sample_stats()
+    once = SimStats.from_dict(stats.as_dict()).as_dict()
+    twice = SimStats.from_dict(once).as_dict()
+    assert json.dumps(once, sort_keys=True) == \
+        json.dumps(twice, sort_keys=True)
+
+
+def test_roundtrip_none_ri_replacements():
+    stats = SimStats()
+    stats.cycles = 10
+    back = SimStats.from_dict(json.loads(json.dumps(stats.as_dict())))
+    assert back.ri_set_replacements is None
+    assert back.cycles == 10

@@ -1,0 +1,104 @@
+"""Workload registry semantics and SimJob hashing determinism."""
+
+import pytest
+
+from repro.harness import SimJob
+from repro.workloads.registry import (
+    SUITES,
+    get_workload,
+    register,
+    suite_names,
+    unregister,
+)
+
+
+def _dummy_builder(scale):
+    return ("module", "program-%s" % scale)
+
+
+def test_duplicate_registration_rejected():
+    register("zz-registry-test", "micro")(_dummy_builder)
+    try:
+        with pytest.raises(ValueError, match="duplicate workload"):
+            register("zz-registry-test", "micro")(_dummy_builder)
+        # A duplicate name is rejected even from a different suite.
+        with pytest.raises(ValueError, match="duplicate workload"):
+            register("zz-registry-test", "gap")(_dummy_builder)
+    finally:
+        unregister("zz-registry-test")
+    assert "zz-registry-test" not in suite_names("micro")
+
+
+def test_register_creates_new_suites():
+    register("zz-suite-test", "zz-custom-suite")(_dummy_builder)
+    try:
+        assert suite_names("zz-custom-suite") == ["zz-suite-test"]
+    finally:
+        unregister("zz-suite-test")
+        del SUITES["zz-custom-suite"]
+
+
+def test_unregister_unknown():
+    with pytest.raises(KeyError):
+        unregister("zz-never-registered")
+
+
+def test_build_caches_per_scale():
+    workload = get_workload("linear-mispred")
+    a = workload.build(0.05)
+    b = workload.build(0.05)
+    c = workload.build(0.05000000001)   # rounds to the same key
+    d = workload.build(0.06)
+    assert a is b
+    assert a is c
+    assert d is not a
+
+
+def test_suite_names_ordering_and_isolation():
+    names = suite_names("micro")
+    # Registration order in workloads/microbench.py.
+    assert names == ["nested-mispred", "linear-mispred"]
+    # Callers get a copy, not the registry's own list.
+    names.append("intruder")
+    assert "intruder" not in suite_names("micro")
+
+
+# ---------------------------------------------------------------------------
+# SimJob hashing determinism
+# ---------------------------------------------------------------------------
+def test_simjob_hash_deterministic():
+    a = SimJob("bfs", "mssr", 0.12, {"streams": 4, "wpb": 16, "log": 64})
+    b = SimJob("bfs", "mssr", 0.12, {"log": 64, "wpb": 16, "streams": 4})
+    assert a == b
+    assert a.job_hash() == b.job_hash()
+    assert hash(a) == hash(b)
+
+
+def test_simjob_hash_distinguishes_params():
+    base = SimJob("bfs", "mssr", 0.12, {"streams": 4, "wpb": 16})
+    assert base.job_hash() != SimJob(
+        "bfs", "mssr", 0.12, {"streams": 2, "wpb": 16}).job_hash()
+    assert base.job_hash() != SimJob(
+        "cc", "mssr", 0.12, {"streams": 4, "wpb": 16}).job_hash()
+    assert base.job_hash() != SimJob(
+        "bfs", "mssr", 0.13, {"streams": 4, "wpb": 16}).job_hash()
+    assert SimJob("bfs", "baseline", 0.12).job_hash() != SimJob(
+        "bfs", "dir", 0.12).job_hash()
+
+
+def test_simjob_guards_not_hashed():
+    # Safety guards change failure behaviour, never successful results,
+    # so they must not fragment the cache key space.
+    plain = SimJob("bfs", "baseline", 0.12)
+    guarded = SimJob("bfs", "baseline", 0.12, max_cycles=10 ** 9,
+                     wall_seconds=3600)
+    assert plain.job_hash() == guarded.job_hash()
+
+
+def test_simjob_rejects_bad_specs():
+    with pytest.raises(ValueError, match="unknown config kind"):
+        SimJob("bfs", "quantum", 0.1)
+    with pytest.raises(ValueError, match="not valid for kind"):
+        SimJob("bfs", "ri", 0.1, {"streams": 4})
+    with pytest.raises(ValueError, match="not valid for kind"):
+        SimJob("bfs", "baseline", 0.1, {"sets": 64})
