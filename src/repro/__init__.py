@@ -33,6 +33,14 @@ from repro.pipeline import (
     dci_config,
     ri_config,
 )
+from repro.obs import (
+    JsonlTraceSink,
+    KonataSink,
+    MetricsSink,
+    Observability,
+    RingBufferSink,
+    run_lockstep,
+)
 
 __version__ = "1.0.0"
 
@@ -60,5 +68,11 @@ __all__ = [
     "mssr_config",
     "dci_config",
     "ri_config",
+    "Observability",
+    "RingBufferSink",
+    "JsonlTraceSink",
+    "KonataSink",
+    "MetricsSink",
+    "run_lockstep",
     "__version__",
 ]

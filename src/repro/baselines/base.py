@@ -45,6 +45,11 @@ class ReuseScheme:
     def attach(self, core):
         self.core = core
 
+    @property
+    def obs(self):
+        """The core's observability bus (counters + event emission)."""
+        return self.core.obs
+
     # -- squash-time hooks -------------------------------------------------
     def wants_preg(self, dyn):
         """Should the core keep this squashed instruction's dest preg alive?

@@ -109,7 +109,7 @@ class DynamicInstructionReuse(ReuseScheme):
             return None
         if entry.is_load and entry.load_addr is None:
             return None
-        self.core.stats.reuse_tests += 1
+        self.obs.reuse_test(dyn)
         regfile = self.core.regfile
         # Value test: every source must be ready with the stored value.
         for preg, stored in zip(dyn.srcs_preg, entry.src_values):

@@ -96,7 +96,6 @@ class RegisterIntegration(ReuseScheme):
         return True
 
     def _insert(self, dyn):
-        stats = self.core.stats
         ways = self.sets[self._set_for(dyn.pc)]
         self._tick += 1
         victim = None
@@ -111,7 +110,7 @@ class RegisterIntegration(ReuseScheme):
                     break
         if victim is None:
             victim = min(ways, key=lambda e: e.lru)
-            stats.ri_replacements += 1
+            self.obs.ri_replacement()
             self.set_replacements[self._set_for(dyn.pc)] += 1
         if victim.valid:
             self._invalidate_entry(victim)
@@ -128,7 +127,7 @@ class RegisterIntegration(ReuseScheme):
         for preg in victim.src_pregs:
             self._src_index.setdefault(preg, set()).add(id(victim))
         self._entries_by_id[id(victim)] = victim
-        stats.ri_insertions += 1
+        self.obs.ri_insertion()
 
     # ------------------------------------------------------------------
     # Rename-time integration
@@ -137,8 +136,7 @@ class RegisterIntegration(ReuseScheme):
         entry = self._lookup(dyn.pc)
         if entry is None or not entry.reserved:
             return None
-        stats = self.core.stats
-        stats.reuse_tests += 1
+        self.obs.reuse_test(dyn)
         if entry.src_pregs != dyn.srcs_preg:
             return None
         verify_addr = None
@@ -169,7 +167,7 @@ class RegisterIntegration(ReuseScheme):
             self.core.free_reserved_preg(entry.dest_preg)
 
     def _invalidate_entry(self, entry):
-        self.core.stats.ri_invalidations += 1
+        self.obs.ri_invalidation()
         self._release_entry(entry, free_preg=True)
 
     def on_preg_freed(self, preg):

@@ -9,7 +9,7 @@ which the analysis tools use for branch statistics.
 from repro.isa.instruction import INST_BYTES
 from repro.isa.opcodes import Op, OpClass
 from repro.isa.program import STACK_TOP
-from repro.isa.registers import NUM_ARCH_REGS
+from repro.isa.registers import NUM_ARCH_REGS, reg_num
 from repro.emu.memory import SparseMemory
 from repro.utils.bits import MASK64, wrap64, to_unsigned
 
@@ -29,7 +29,6 @@ class EmulationResult:
         self.pc = pc
 
     def reg(self, name_or_num):
-        from repro.isa.registers import reg_num
         return self.regs[reg_num(name_or_num)]
 
 

@@ -13,7 +13,10 @@ squashed streams that reuse later harvests.
 """
 
 from repro.isa.instruction import INST_BYTES
+from repro.log import get_logger
 from repro.pipeline.dyninst import DynInst
+
+_log = get_logger("frontend.fetch")
 
 #: Register holding return addresses (``ra``).
 _RA = 1
@@ -40,6 +43,11 @@ class PredictionBlock:
     def pc_range(self):
         """(start_pc, end_pc) inclusive of the last instruction."""
         return self.start_pc, self.end_pc
+
+    def inst_summaries(self):
+        """``(seq, pc, text)`` per instruction — the FetchEvent payload."""
+        return tuple((dyn.seq, dyn.pc, repr(dyn.inst))
+                     for dyn in self.insts)
 
     def __repr__(self):
         return "<Block %d [%#x..%#x] %d insts>" % (
@@ -72,6 +80,9 @@ class FetchUnit:
         """Steer fetch (misprediction recovery or indirect resolution)."""
         self.pc = pc
         self.stalled = not self.program.has_pc(pc)
+        if self.stalled:
+            _log.debug("redirect to %#x leaves the code image; fetch "
+                       "stalled until the next redirect", pc)
 
     def squash_ftq_after(self, block_id, keep_partial_seq=None):
         """Drop FTQ blocks younger than ``block_id``.

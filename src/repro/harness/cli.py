@@ -4,6 +4,7 @@ Reproduce single points (or small sweeps) without pytest::
 
     python -m repro.harness run --workload bfs --kind mssr --streams 4
     python -m repro.harness run --workload bfs --workload cc --jobs 8 --json
+    python -m repro.harness trace --workload bfs --kind mssr --out bfs.jsonl
     python -m repro.harness list
     python -m repro.harness cache --clear
 """
@@ -15,6 +16,9 @@ import sys
 from repro.harness.cache import ResultCache, code_fingerprint
 from repro.harness.jobs import KIND_PARAMS, SimJob
 from repro.harness.runner import run_batch
+from repro.log import configure as configure_logging, get_logger
+
+_log = get_logger("harness.cli")
 
 
 def _build_parser():
@@ -28,26 +32,26 @@ def _build_parser():
     run.add_argument("--workload", action="append", required=True,
                      help="workload name (repeatable), or suite:<name> "
                           "to expand a whole suite")
-    run.add_argument("--kind", default="baseline",
-                     choices=sorted(KIND_PARAMS),
-                     help="configuration kind (default: baseline)")
-    run.add_argument("--scale", type=float, default=0.15,
-                     help="workload scale factor (default: 0.15)")
-    run.add_argument("--streams", type=int, help="MSSR stream count")
-    run.add_argument("--wpb", type=int, help="MSSR WPB entries/stream")
-    run.add_argument("--log", type=int, help="MSSR squash-log entries")
-    run.add_argument("--sets", type=int, help="RI/DIR table sets")
-    run.add_argument("--ways", type=int, help="RI/DIR associativity")
+    _add_job_args(run)
     run.add_argument("--jobs", type=int, default=None,
                      help="worker processes (default: REPRO_JOBS or 1)")
-    run.add_argument("--max-cycles", type=int, default=None,
-                     help="per-job simulated-cycle guard")
-    run.add_argument("--wall-timeout", type=float, default=None,
-                     help="per-job wall-clock guard in seconds")
     run.add_argument("--no-cache", action="store_true",
                      help="bypass the on-disk result cache")
     run.add_argument("--json", action="store_true", dest="as_json",
                      help="emit full stats as JSON instead of summaries")
+
+    trace = sub.add_parser(
+        "trace", help="simulate one job with the event bus enabled")
+    trace.add_argument("--workload", required=True, help="workload name")
+    _add_job_args(trace)
+    trace.add_argument("--out", default=None,
+                       help="JSONL event-trace path (default: "
+                            "<workload>-<kind>.trace.jsonl)")
+    trace.add_argument("--konata", default=None,
+                       help="also write a Konata pipeline-view log here")
+    trace.add_argument("--lockstep", action="store_true",
+                       help="check every commit against the golden-model "
+                            "emulator and report the first divergence")
 
     lst = sub.add_parser("list", help="list registered workloads")
     lst.add_argument("--suite", help="restrict to one suite")
@@ -57,6 +61,24 @@ def _build_parser():
                        help="drop cached results for the current code "
                             "fingerprint")
     return parser
+
+
+def _add_job_args(parser):
+    """Job-shape flags shared by ``run`` and ``trace``."""
+    parser.add_argument("--kind", default="baseline",
+                        choices=sorted(KIND_PARAMS),
+                        help="configuration kind (default: baseline)")
+    parser.add_argument("--scale", type=float, default=0.15,
+                        help="workload scale factor (default: 0.15)")
+    parser.add_argument("--streams", type=int, help="MSSR stream count")
+    parser.add_argument("--wpb", type=int, help="MSSR WPB entries/stream")
+    parser.add_argument("--log", type=int, help="MSSR squash-log entries")
+    parser.add_argument("--sets", type=int, help="RI/DIR table sets")
+    parser.add_argument("--ways", type=int, help="RI/DIR associativity")
+    parser.add_argument("--max-cycles", type=int, default=None,
+                        help="per-job simulated-cycle guard")
+    parser.add_argument("--wall-timeout", type=float, default=None,
+                        help="per-job wall-clock guard in seconds")
 
 
 def _collect_params(args):
@@ -89,7 +111,7 @@ def _cmd_run(args, out):
                          wall_seconds=args.wall_timeout)
                   for name in workloads]
     except (KeyError, ValueError) as exc:
-        print("error: %s" % exc, file=sys.stderr)
+        _log.error("%s", exc)
         return 2
 
     from repro.harness.runner import JobFailure
@@ -97,7 +119,7 @@ def _cmd_run(args, out):
         report = run_batch(jobset, n_jobs=args.jobs,
                            cache=False if args.no_cache else None)
     except JobFailure as exc:
-        print("error: %s" % exc, file=sys.stderr)
+        _log.error("%s", exc)
         return 1
 
     if args.as_json:
@@ -115,6 +137,63 @@ def _cmd_run(args, out):
     return 0
 
 
+def _cmd_trace(args, out):
+    from repro.harness.jobs import _WallClock, build_config, build_scheme
+    from repro.obs import JsonlTraceSink, KonataSink, Observability, \
+        run_lockstep
+    from repro.pipeline.core import O3Core
+    from repro.workloads import get_workload
+
+    try:
+        job = SimJob(args.workload, args.kind, args.scale,
+                     _collect_params(args), max_cycles=args.max_cycles,
+                     wall_seconds=args.wall_timeout)
+        workload = get_workload(job.workload)
+    except (KeyError, ValueError) as exc:
+        _log.error("%s", exc)
+        return 2
+
+    out_path = args.out or "%s-%s.trace.jsonl" % (job.workload, job.kind)
+    jsonl = JsonlTraceSink(out_path)
+    sinks = [jsonl]
+    if args.konata:
+        sinks.append(KonataSink(args.konata))
+    obs = Observability(sinks=sinks)
+
+    _mod, prog = workload.build(job.scale)
+    params = job.param_dict
+    config = build_config(job.kind, **params)
+    scheme = build_scheme(job.kind, **params)
+
+    try:
+        with _WallClock(job.wall_seconds):
+            if args.lockstep:
+                def _factory(program, cfg, reuse_scheme=None):
+                    return O3Core(program, cfg, reuse_scheme=reuse_scheme,
+                                  obs=obs)
+
+                outcome = run_lockstep(prog, config, reuse_scheme=scheme,
+                                       max_cycles=job.max_cycles,
+                                       core_factory=_factory)
+                if not outcome.ok:
+                    _log.error("%s", outcome.divergence.format())
+                    return 1
+                stats = outcome.result.stats
+                out.write("lockstep OK: %d commit(s) match the emulator\n"
+                          % outcome.commits)
+            else:
+                core = O3Core(prog, config, reuse_scheme=scheme, obs=obs)
+                stats = core.run(max_cycles=job.max_cycles).stats
+    finally:
+        obs.close()
+
+    out.write("%-40s %s\n" % (job.label(), stats.summary()))
+    out.write("trace  : %s (%d events)\n" % (out_path, jsonl.count))
+    if args.konata:
+        out.write("konata : %s\n" % args.konata)
+    return 0
+
+
 def _cmd_list(args, out):
     from repro.workloads.registry import SUITES, get_workload, \
         suite_names, workload_names
@@ -122,9 +201,8 @@ def _cmd_list(args, out):
         try:
             names = suite_names(args.suite)
         except KeyError:
-            print("error: unknown suite %r (have: %s)"
-                  % (args.suite, ", ".join(sorted(SUITES))),
-                  file=sys.stderr)
+            _log.error("unknown suite %r (have: %s)",
+                       args.suite, ", ".join(sorted(SUITES)))
             return 2
     else:
         names = workload_names()
@@ -147,10 +225,13 @@ def _cmd_cache(args, out):
 
 
 def main(argv=None, out=None):
+    configure_logging()
     args = _build_parser().parse_args(argv)
     out = out or sys.stdout
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     if args.command == "list":
         return _cmd_list(args, out)
     return _cmd_cache(args, out)

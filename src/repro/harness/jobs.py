@@ -16,6 +16,7 @@ process-local state.
 import dataclasses
 import hashlib
 import json
+import os
 import signal
 import threading
 from typing import Optional, Tuple
@@ -169,21 +170,50 @@ class _WallClock:
         return False
 
 
-def execute(job):
+def trace_path_for(job, directory):
+    """Canonical per-job JSONL trace path under ``directory``."""
+    return os.path.join(directory,
+                        "%s-%s-%s.jsonl" % (job.workload, job.kind,
+                                            job.job_hash()[:12]))
+
+
+def _env_trace_obs(job):
+    """Observability for ``REPRO_TRACE=<dir>``: every executed job writes
+    a JSONL event trace into the directory (workers included)."""
+    directory = os.environ.get("REPRO_TRACE", "").strip()
+    if not directory:
+        return None
+    from repro.obs import JsonlTraceSink, Observability
+    os.makedirs(directory, exist_ok=True)
+    return Observability(sinks=[JsonlTraceSink(trace_path_for(job,
+                                                             directory))])
+
+
+def execute(job, obs=None):
     """Run one job in this process; returns a fresh ``SimStats``.
 
     Workers (and the serial fallback) both come through here, so the
     parallel and serial paths are the same code modulo transport.
+    ``obs`` attaches an observability bus to the simulated core; when
+    omitted and ``REPRO_TRACE`` names a directory, a per-job JSONL
+    trace sink is attached automatically.
     """
     from repro.pipeline.core import O3Core
     from repro.workloads import get_workload
 
-    with _WallClock(job.wall_seconds):
-        workload = get_workload(job.workload)
-        _mod, prog = workload.build(job.scale)
-        params = job.param_dict
-        config = build_config(job.kind, **params)
-        scheme = build_scheme(job.kind, **params)
-        core = O3Core(prog, config, reuse_scheme=scheme)
-        result = core.run(max_cycles=job.max_cycles)
+    owned_obs = None
+    if obs is None:
+        obs = owned_obs = _env_trace_obs(job)
+    try:
+        with _WallClock(job.wall_seconds):
+            workload = get_workload(job.workload)
+            _mod, prog = workload.build(job.scale)
+            params = job.param_dict
+            config = build_config(job.kind, **params)
+            scheme = build_scheme(job.kind, **params)
+            core = O3Core(prog, config, reuse_scheme=scheme, obs=obs)
+            result = core.run(max_cycles=job.max_cycles)
+    finally:
+        if owned_obs is not None:
+            owned_obs.close()
     return result.stats

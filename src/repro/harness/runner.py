@@ -24,7 +24,10 @@ import traceback
 from repro.harness.cache import ResultCache
 from repro.harness.jobs import SimJob  # noqa: F401  (re-export)
 from repro.harness.jobs import execute
+from repro.log import get_logger
 from repro.pipeline.stats import SimStats
+
+_log = get_logger("harness.runner")
 
 #: job hash -> SimStats; process-lifetime memo (layer 1).
 _MEMO = {}
@@ -131,6 +134,12 @@ def run_batch(jobs, n_jobs=None, cache=None, progress=None, strict=True,
 
     def _note(job, source):
         done[0] += 1
+        if source == "error":
+            _log.warning("[%d/%d] %s failed", done[0], len(unique),
+                         job.label())
+        else:
+            _log.debug("[%d/%d] %s (%s)", done[0], len(unique),
+                       job.label(), source)
         if progress is not None:
             progress(done[0], len(unique), job, source)
 
@@ -166,6 +175,11 @@ def run_batch(jobs, n_jobs=None, cache=None, progress=None, strict=True,
             _note(job, "error")
 
     if pending:
+        _log.info("batch: %d job(s), %d cached (%d memo, %d disk), "
+                  "simulating %d on %d worker(s)",
+                  len(unique), report.memo_hits + report.disk_hits,
+                  report.memo_hits, report.disk_hits, len(pending),
+                  min(n_jobs, len(pending)))
         if n_jobs > 1 and len(pending) > 1:
             by_hash = {job.job_hash(): job for job in pending}
             ctx = _pool_context()

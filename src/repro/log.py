@@ -1,0 +1,56 @@
+"""Package-wide logging hierarchy.
+
+Every ``repro`` module logs through a child of the ``repro`` logger
+(``get_logger("harness.runner")`` -> ``repro.harness.runner``), so one
+knob controls the whole simulator. Library use stays silent by default
+(a ``NullHandler`` on the root); entry points (``python -m
+repro.harness``) call :func:`configure` to route records to stderr.
+
+``REPRO_LOG_LEVEL`` (e.g. ``DEBUG``, ``INFO``, ``WARNING``) overrides
+the configured level.
+"""
+
+import logging
+import os
+import sys
+
+#: Root logger name for the whole package.
+ROOT_NAME = "repro"
+
+logging.getLogger(ROOT_NAME).addHandler(logging.NullHandler())
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """StreamHandler that resolves ``sys.stderr`` at emit time, so
+    redirected/captured stderr (pytest, CLI tests) is honoured."""
+
+    def emit(self, record):
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:              # pragma: no cover - best effort
+            self.handleError(record)
+
+
+def get_logger(name=None):
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_NAME)
+    return logging.getLogger("%s.%s" % (ROOT_NAME, name))
+
+
+def configure(level=logging.INFO, fmt="%(levelname)s %(name)s: %(message)s"):
+    """Route ``repro.*`` records to stderr (idempotent).
+
+    Returns the root ``repro`` logger. ``REPRO_LOG_LEVEL`` overrides
+    ``level`` when set.
+    """
+    env_level = os.environ.get("REPRO_LOG_LEVEL", "").strip().upper()
+    if env_level:
+        level = getattr(logging, env_level, level)
+    root = logging.getLogger(ROOT_NAME)
+    if not any(isinstance(h, _DynamicStderrHandler) for h in root.handlers):
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(logging.Formatter(fmt))
+        root.addHandler(handler)
+    root.setLevel(level)
+    return root

@@ -132,7 +132,7 @@ class MSSRController(ReuseScheme):
                 continue
             stream.age += num_insts
             if stream.age >= self.config.reconvergence_timeout:
-                self.core.stats.wpb_timeouts += 1
+                self.core.obs.wpb_timeout(idx)
                 self._invalidate_stream(idx)
 
     def _try_reconverge(self, block, start):
@@ -155,11 +155,10 @@ class MSSRController(ReuseScheme):
             tried.add(stream_idx)
         wpb_stream = self.wpb.streams[stream_idx]
 
-        stats = self.core.stats
-        stats.reconvergences += 1
-        self._classify(wpb_stream, stats)
         distance = self._squash_events - wpb_stream.event_id + 1
-        stats.record_stream_distance(distance)
+        self.core.obs.reconverge(stream_idx, reconv_pc, distance,
+                                 self._classify(wpb_stream),
+                                 wpb_stream.trigger_seq)
 
         self._lockstep = _Lockstep(
             stream_idx, log_stream.generation, wpb_stream.pcs(),
@@ -172,13 +171,13 @@ class MSSRController(ReuseScheme):
             skip += 1
         self._annotate(insts[skip:])
 
-    def _classify(self, stream, stats):
+    def _classify(self, stream):
+        """The paper's reconvergence taxonomy, as a kind string."""
         if stream.trigger_seq == self._last_trigger_seq:
-            stats.reconv_simple += 1
-        elif stream.trigger_seq < self._last_trigger_seq:
-            stats.reconv_software += 1
-        else:
-            stats.reconv_hardware += 1
+            return "simple"
+        if stream.trigger_seq < self._last_trigger_seq:
+            return "software"
+        return "hardware"
 
     def _follow_lockstep(self, block):
         """Continue matching a block against the active stream.
@@ -246,8 +245,8 @@ class MSSRController(ReuseScheme):
             raise AssertionError(
                 "squash log misalignment at %#x (logged %#x %s)"
                 % (dyn.pc, entry.pc, entry.op))
-        stats = self.core.stats
-        stats.reuse_tests += 1
+        self.core.obs.reuse_test(dyn, stream_idx, entry_idx,
+                                 entry.src_rgids)
         if (not entry.reusable or not entry.reserved or entry.consumed
                 or entry.failed):
             return None
@@ -312,7 +311,7 @@ class MSSRController(ReuseScheme):
         stream that still holds registers."""
         for idx in list(self._alloc_order):
             if self.log.streams[idx].reserved_pregs():
-                self.core.stats.squash_log_pressure_frees += 1
+                self.core.obs.pressure_free()
                 self._invalidate_stream(idx)
                 return True
         return False
@@ -327,7 +326,7 @@ class MSSRController(ReuseScheme):
             self.core.stats.rgid_overflows, rat.overflow_events)
 
     def _global_reset(self, suspend):
-        self.core.stats.rgid_resets += 1
+        self.core.obs.rgid_reset()
         self.invalidate_all()
         self.core.rat.reset_rgids()
         if suspend:

@@ -1,0 +1,78 @@
+"""Unified observability layer: typed event bus, sinks, lockstep checking.
+
+The simulator explains itself through one funnel:
+
+* :mod:`repro.obs.events` — typed ``__slots__`` event records for every
+  pipeline moment (fetch, rename, issue, writeback, commit, squash,
+  reconvergence, reuse attempts);
+* :mod:`repro.obs.bus` — the :class:`Observability` bus every
+  :class:`~repro.pipeline.core.O3Core` owns: its ``stats`` is the run's
+  :class:`~repro.pipeline.stats.SimStats` (now a metrics *view* kept by
+  the bus helpers), and attached sinks receive the event stream;
+* :mod:`repro.obs.sinks` — ring buffer (post-mortems), JSONL trace,
+  Konata pipeline-view export, and the event-derived metrics verifier;
+* :mod:`repro.obs.lockstep` — commit-by-commit differential checking
+  against the golden-model emulator, reporting the first divergent
+  commit.
+
+Quick trace::
+
+    from repro.obs import Observability, JsonlTraceSink
+    obs = Observability(sinks=[JsonlTraceSink("trace.jsonl")])
+    O3Core(prog, mssr_config(), obs=obs).run()
+    obs.close()
+"""
+
+from repro.obs.bus import Observability
+from repro.obs.events import (
+    EVENT_TYPES,
+    CommitEvent,
+    Event,
+    FetchEvent,
+    IssueEvent,
+    ReconvergeEvent,
+    RenameEvent,
+    ReuseAttemptEvent,
+    SquashEvent,
+    WritebackEvent,
+    format_event,
+)
+from repro.obs.sinks import (
+    CallbackSink,
+    JsonlTraceSink,
+    KonataSink,
+    MetricsSink,
+    RingBufferSink,
+    Sink,
+)
+from repro.obs.lockstep import (
+    DivergenceReport,
+    LockstepDivergence,
+    LockstepResult,
+    run_lockstep,
+)
+
+__all__ = [
+    "Observability",
+    "Event",
+    "EVENT_TYPES",
+    "FetchEvent",
+    "RenameEvent",
+    "IssueEvent",
+    "WritebackEvent",
+    "CommitEvent",
+    "SquashEvent",
+    "ReconvergeEvent",
+    "ReuseAttemptEvent",
+    "format_event",
+    "Sink",
+    "RingBufferSink",
+    "CallbackSink",
+    "JsonlTraceSink",
+    "KonataSink",
+    "MetricsSink",
+    "run_lockstep",
+    "LockstepResult",
+    "LockstepDivergence",
+    "DivergenceReport",
+]

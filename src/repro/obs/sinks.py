@@ -1,0 +1,244 @@
+"""Pluggable event sinks.
+
+* :class:`RingBufferSink` — bounded in-memory history, auto-dumped on
+  :class:`~repro.pipeline.core.SimulationError` for post-mortems;
+* :class:`JsonlTraceSink` — one JSON object per event, the machine-
+  readable trace behind ``python -m repro.harness trace``;
+* :class:`KonataSink` — Kanata/Konata pipeline-viewer log
+  (https://github.com/shioyadan/Konata);
+* :class:`MetricsSink` — recomputes a :class:`SimStats` purely from the
+  event stream, proving the counters are a view over the events;
+* :class:`CallbackSink` — adapter for in-process consumers (the
+  lockstep checker).
+"""
+
+import collections
+import json
+
+from repro.obs.events import (
+    CommitEvent,
+    FetchEvent,
+    IssueEvent,
+    ReconvergeEvent,
+    RenameEvent,
+    ReuseAttemptEvent,
+    SquashEvent,
+    WritebackEvent,
+    format_event,
+)
+from repro.pipeline.stats import SimStats
+
+
+class Sink:
+    """Base sink; ``emit`` receives every event in emission order."""
+
+    def emit(self, event):
+        raise NotImplementedError
+
+    def close(self):
+        """Flush and release resources (idempotent)."""
+
+
+class RingBufferSink(Sink):
+    """Keep the last ``capacity`` events for post-mortem dumps."""
+
+    def __init__(self, capacity=2048):
+        self.capacity = capacity
+        self.events = collections.deque(maxlen=capacity)
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def snapshot(self):
+        """The buffered events, oldest first."""
+        return list(self.events)
+
+    def format_lines(self):
+        """Human-readable dump lines, oldest first."""
+        return [format_event(event) for event in self.events]
+
+    def clear(self):
+        self.events.clear()
+
+
+class CallbackSink(Sink):
+    """Forward every event to a callable (in-process consumers)."""
+
+    def __init__(self, callback):
+        self.callback = callback
+
+    def emit(self, event):
+        self.callback(event)
+
+
+class JsonlTraceSink(Sink):
+    """Write one JSON object per event to a file or file-like object."""
+
+    def __init__(self, target):
+        if hasattr(target, "write"):
+            self._file = target
+            self._owns = False
+            self.path = getattr(target, "name", None)
+        else:
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns = True
+            self.path = target
+        self.count = 0
+
+    def emit(self, event):
+        self._file.write(json.dumps(event.as_dict(),
+                                    separators=(",", ":")))
+        self._file.write("\n")
+        self.count += 1
+
+    def close(self):
+        if self._owns and not self._file.closed:
+            self._file.close()
+        elif not self._owns:
+            self._file.flush()
+
+
+class KonataSink(Sink):
+    """Export the pipeline view in the Kanata log format.
+
+    Open the produced file in Konata to scrub through fetch/rename/
+    issue/writeback/retire lanes, with squashed instructions shown as
+    flushes — the paper's squash/reconverge choreography made visible.
+    """
+
+    #: Kanata stage labels per event type.
+    _STAGES = {RenameEvent: "Rn", IssueEvent: "Is", WritebackEvent: "Wb"}
+
+    def __init__(self, target):
+        if hasattr(target, "write"):
+            self._file = target
+            self._owns = False
+            self.path = getattr(target, "name", None)
+        else:
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns = True
+            self.path = target
+        self._file.write("Kanata\t0004\n")
+        self._cycle = None
+        self._stage = {}          # seq -> currently open stage label
+        self._retired = 0
+
+    # ------------------------------------------------------------------
+    def _advance(self, cycle):
+        if self._cycle is None:
+            self._file.write("C=\t%d\n" % cycle)
+        elif cycle > self._cycle:
+            self._file.write("C\t%d\n" % (cycle - self._cycle))
+        self._cycle = cycle
+
+    def _open_stage(self, seq, stage):
+        previous = self._stage.get(seq)
+        if previous is not None:
+            self._file.write("E\t%d\t0\t%s\n" % (seq, previous))
+        self._file.write("S\t%d\t0\t%s\n" % (seq, stage))
+        self._stage[seq] = stage
+
+    def _finish(self, seq, flushed):
+        previous = self._stage.pop(seq, None)
+        if previous is not None:
+            self._file.write("E\t%d\t0\t%s\n" % (seq, previous))
+        self._retired += 1
+        self._file.write("R\t%d\t%d\t%d\n"
+                         % (seq, self._retired, 1 if flushed else 0))
+
+    # ------------------------------------------------------------------
+    def emit(self, event):
+        self._advance(event.cycle)
+        write = self._file.write
+        if type(event) is FetchEvent:
+            for seq, pc, text in event.insts:
+                write("I\t%d\t%d\t0\n" % (seq, seq))
+                write("L\t%d\t0\t%#x: %s\n" % (seq, pc, text))
+                write("S\t%d\t0\tF\n" % seq)
+                self._stage[seq] = "F"
+        elif type(event) is SquashEvent:
+            for seq in event.squashed_seqs:
+                self._finish(seq, flushed=True)
+            for seq in event.dropped_seqs:
+                self._finish(seq, flushed=True)
+        elif type(event) is CommitEvent:
+            self._finish(event.seq, flushed=False)
+        else:
+            stage = self._STAGES.get(type(event))
+            if stage is not None:
+                self._open_stage(event.seq, stage)
+
+    def close(self):
+        if self._owns and not self._file.closed:
+            self._file.close()
+        elif not self._owns:
+            self._file.flush()
+
+
+class MetricsSink(Sink):
+    """Rebuild :class:`SimStats` counters from the event stream alone.
+
+    This is the executable definition of "``SimStats`` is a view over
+    the event bus": for every counter that has a defining event, the
+    value recomputed here must equal the live counter the bus maintained
+    (:meth:`verify` returns the mismatches; tests assert none).
+    """
+
+    #: Counters recomputed by this sink (everything event-derived).
+    DERIVED = (
+        "committed_insts", "fetched_insts", "cond_branches",
+        "cond_mispredicts", "indirect_branches", "indirect_mispredicts",
+        "branch_squashes", "squashed_insts", "reuse_tests",
+        "reuse_successes", "reused_loads", "reconvergences",
+        "reconv_simple", "reconv_software", "reconv_hardware",
+        "stream_distance_hist",
+    )
+
+    def __init__(self):
+        self.stats = SimStats()
+
+    def emit(self, event):
+        stats = self.stats
+        kind = type(event)
+        if kind is CommitEvent:
+            stats.committed_insts += 1
+            if event.branch == "cond":
+                stats.cond_branches += 1
+                if event.mispredicted:
+                    stats.cond_mispredicts += 1
+            elif event.branch == "indirect":
+                stats.indirect_branches += 1
+                if event.mispredicted:
+                    stats.indirect_mispredicts += 1
+        elif kind is FetchEvent:
+            stats.fetched_insts += len(event.insts)
+        elif kind is SquashEvent:
+            if event.kind == "branch":
+                stats.branch_squashes += 1
+            stats.squashed_insts += len(event.squashed_seqs)
+        elif kind is ReuseAttemptEvent:
+            if event.outcome == "test":
+                stats.reuse_tests += 1
+            else:
+                stats.reuse_successes += 1
+                if event.is_load:
+                    stats.reused_loads += 1
+        elif kind is ReconvergeEvent:
+            stats.reconvergences += 1
+            if event.reconv_kind == "simple":
+                stats.reconv_simple += 1
+            elif event.reconv_kind == "software":
+                stats.reconv_software += 1
+            else:
+                stats.reconv_hardware += 1
+            stats.record_stream_distance(event.distance)
+
+    def verify(self, live_stats):
+        """Compare against the live counters; returns mismatch list."""
+        mismatches = []
+        for name in self.DERIVED:
+            derived = getattr(self.stats, name)
+            live = getattr(live_stats, name)
+            if derived != live:
+                mismatches.append((name, derived, live))
+        return mismatches

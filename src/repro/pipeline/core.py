@@ -24,20 +24,30 @@ from repro.frontend.tage_scl import TageSCL
 from repro.isa.instruction import INST_BYTES
 from repro.isa.opcodes import Op, OpClass
 from repro.isa.program import STACK_TOP
-from repro.isa.registers import NUM_ARCH_REGS
+from repro.isa.registers import NUM_ARCH_REGS, reg_num
 from repro.emu.memory import SparseMemory
+from repro.log import get_logger
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.bus import Observability
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.lsq import LoadStoreQueue
 from repro.pipeline.regfile import PhysRegFile
 from repro.pipeline.rename import RenameTable
 from repro.pipeline.scheduler import IssueQueue, FunctionUnits
-from repro.pipeline.stats import SimStats
 from repro.utils.bits import MASK64, wrap64, to_unsigned
+
+_log = get_logger("pipeline.core")
 
 
 class SimulationError(Exception):
-    """Raised on deadlock or budget exhaustion."""
+    """Raised on deadlock or budget exhaustion.
+
+    When the core's event bus has a ring-buffer sink attached,
+    ``event_dump`` carries the formatted last-N-events history leading
+    up to the failure (empty tuple otherwise).
+    """
+
+    event_dump = ()
 
 
 class SimResult:
@@ -49,7 +59,6 @@ class SimResult:
         self.stats = stats
 
     def reg(self, name_or_num):
-        from repro.isa.registers import reg_num
         return self.regs[reg_num(name_or_num)]
 
 
@@ -71,12 +80,21 @@ def _sext32(value):
 
 
 class O3Core:
-    """Out-of-order core simulator."""
+    """Out-of-order core simulator.
 
-    def __init__(self, program, config=None, reuse_scheme=None):
+    ``obs`` is the run's :class:`~repro.obs.bus.Observability` bus —
+    pass one with sinks attached to trace the run; by default a disabled
+    bus is created and the simulator only maintains its ``SimStats``
+    metrics view.
+    """
+
+    def __init__(self, program, config=None, reuse_scheme=None, obs=None):
         self.program = program
         self.config = config or CoreConfig()
         cfg = self.config
+
+        self.obs = obs if obs is not None else Observability()
+        self.stats = self.obs.stats
 
         self.memory = SparseMemory(program.initial_memory())
         self.hierarchy = MemoryHierarchy(
@@ -116,7 +134,6 @@ class O3Core:
         self._squash_request = None
         self.cycle = 0
         self.halted = False
-        self.stats = SimStats()
         self._last_commit_cycle = 0
         self._last_retired_block = -1
 
@@ -141,19 +158,32 @@ class O3Core:
         limit = max_cycles or self.config.max_cycles
         while not self.halted:
             if self.cycle >= limit:
-                raise SimulationError("cycle budget exhausted (%d)" % limit)
+                raise self._sim_error(
+                    "cycle budget exhausted (%d)" % limit)
             if self.cycle - self._last_commit_cycle > 100_000:
-                raise SimulationError(
+                raise self._sim_error(
                     "deadlock: no commit since cycle %d"
                     % self._last_commit_cycle)
             self.step()
         self.scheme.finalize()
         return SimResult(self.arch_regs(), self.memory, self.stats)
 
+    def _sim_error(self, message):
+        """Build a :class:`SimulationError`, auto-dumping any ring-buffer
+        sink so the post-mortem shows the last events before the hang."""
+        error = SimulationError(message)
+        dump = self.obs.dump_recent()
+        if dump:
+            error.event_dump = tuple(dump)
+            _log.error("%s; last %d events:\n%s", message, len(dump),
+                       "\n".join(dump))
+        return error
+
     def step(self):
         """Advance one cycle."""
         self.cycle += 1
         self.stats.cycles = self.cycle
+        self.obs.cycle = self.cycle
         self.fus.new_cycle(self.cycle)
         self._commit_stage()
         if self.halted:
@@ -185,7 +215,7 @@ class O3Core:
             self.rob.popleft()
             head.committed = True
             self._commit_inst(head)
-            self.stats.committed_insts += 1
+            self.obs.commit(head)
             self._last_commit_cycle = self.cycle
             if head.inst.is_halt:
                 self.halted = True
@@ -216,15 +246,11 @@ class O3Core:
         inst = head.inst
         taken = head.actual_npc != inst.pc + INST_BYTES
         if inst.is_cond_branch:
-            self.stats.cond_branches += 1
-            if head.mispredicted:
-                self.stats.cond_mispredicts += 1
+            self.obs.cond_branch(head.mispredicted)
             if head.bp_meta is not None:
                 self.predictor.update(inst.pc, taken, head.bp_meta)
         elif inst.is_indirect:
-            self.stats.indirect_branches += 1
-            if head.mispredicted:
-                self.stats.indirect_mispredicts += 1
+            self.obs.indirect_branch(head.mispredicted)
             self.btb.install(inst.pc, head.actual_npc)
 
     def free_preg(self, preg):
@@ -251,12 +277,14 @@ class O3Core:
     def _writeback_inst(self, dyn):
         inst = dyn.inst
         dyn.executed = True
+        if self.obs.enabled:
+            self.obs.emit_writeback(dyn)
         if dyn.verify_load:
             # Value was already delivered at rename; this is verification.
             if dyn.result != dyn.store_data:
                 # store_data caches the verification re-read (see
                 # _execute_load_verify); mismatch -> flush from this load.
-                self.stats.verify_flushes += 1
+                self.obs.verify_flush(dyn)
                 self.scheme.on_verify_fail(dyn)
                 self._request_squash(_SquashRequest(
                     dyn.seq - 1, dyn, "verify", dyn.pc))
@@ -275,7 +303,7 @@ class O3Core:
             violators = self.lsq.find_violations(dyn)
             if violators:
                 victim = violators[0]
-                self.stats.replay_squashes += 1
+                self.obs.replay_violation(victim)
                 self._request_squash(_SquashRequest(
                     victim.seq - 1, victim, "replay", victim.pc))
 
@@ -305,6 +333,8 @@ class O3Core:
         info = inst.info
         dyn.issued = True
         dyn.issue_cycle = self.cycle
+        if self.obs.enabled:
+            self.obs.emit_issue(dyn)
         values = self.regfile.values
         srcs = [values[p] for p in dyn.srcs_preg]
         latency = self.fus.latency_of(dyn)
@@ -422,6 +452,8 @@ class O3Core:
             if not rat.rename_dest(dyn):
                 raise AssertionError("rename without a free preg")
         dyn.renamed = True
+        if self.obs.enabled:
+            self.obs.emit_rename(dyn, reused)
         self.scheme.on_rename(dyn, reused)
 
     def _apply_reuse(self, dyn, result):
@@ -439,13 +471,11 @@ class O3Core:
         dyn.reused = True
         dyn.completed = True
         dyn.reuse_scheme_tag = result.tag
-        self.stats.reuse_successes += 1
-        if dyn.inst.is_load:
-            self.stats.reused_loads += 1
-            if result.verify_addr is not None:
-                dyn.verify_load = True
-                dyn.mem_addr = result.verify_addr
-                dyn.mem_size = dyn.inst.info.mem_size
+        self.obs.reuse_applied(dyn)
+        if dyn.inst.is_load and result.verify_addr is not None:
+            dyn.verify_load = True
+            dyn.mem_addr = result.verify_addr
+            dyn.mem_size = dyn.inst.info.mem_size
 
     def _dispatch_inst(self, dyn):
         self.rob.append(dyn)
@@ -479,7 +509,7 @@ class O3Core:
             block = self.fetch.fetch_block(self.cycle)
             if block is None:
                 return
-            self.stats.fetched_insts += block.num_insts
+            self.obs.fetch_block(block)
             self.scheme.on_fetch_block(block)
             for dyn in block.insts:
                 self.decode_queue.append(dyn)
@@ -492,22 +522,24 @@ class O3Core:
         if request.trigger.squashed:
             return  # stale request (should not happen; safety)
 
-        if request.kind == "branch":
-            self.stats.branch_squashes += 1
-
         # 1. Pop squashed instructions from the ROB (tail first).
         squashed = []
         while self.rob and self.rob[-1].seq > boundary:
             squashed.append(self.rob.pop())
         # 2. Drop not-yet-renamed instructions from the decode queue.
+        dropped_seqs = []
+        collect_dropped = self.obs.enabled
         while self.decode_queue and self.decode_queue[-1].seq > boundary:
             dropped = self.decode_queue.pop()
             dropped.squashed = True
+            if collect_dropped:
+                dropped_seqs.append(dropped.seq)
         # 3. Roll the RAT back, youngest first.
         for dyn in squashed:
             dyn.squashed = True
             self.rat.rollback(dyn)
-        self.stats.squashed_insts += len(squashed)
+        self.obs.squash(request.kind, request.trigger, boundary,
+                        request.redirect_pc, squashed, dropped_seqs)
 
         # 4. FTQ: carve out the squashed blocks (for the WPBs). The
         #    boundary block is split so instructions at or before the

@@ -1,4 +1,13 @@
-"""Simulation statistics collected by the core and the reuse schemes."""
+"""Simulation statistics: the metrics view of the observability layer.
+
+``SimStats`` is a flat counter bag, but call sites no longer poke it
+directly: every counter is maintained by the typed helpers on
+:class:`~repro.obs.bus.Observability`, which also emit the matching
+event records when sinks are attached. The invariant — counters are a
+pure view over the event stream — is checked by
+:class:`~repro.obs.sinks.MetricsSink`, which recomputes the
+event-derived counters independently.
+"""
 
 
 #: Derived properties included in :meth:`SimStats.as_dict` for human

@@ -3,15 +3,26 @@
 Every workload runs on the O3 core under baseline, MSSR and RI and the
 final registers + memory must equal the functional emulator's. This is
 the test that catches register-lifetime and RGID-soundness bugs.
+
+Setting ``REPRO_LOCKSTEP=1`` switches every cosimulation to the deep
+mode: the emulator is stepped commit-by-commit alongside the core
+(:func:`repro.obs.run_lockstep`), so a divergence is reported at the
+exact first wrong commit instead of as a final-state diff.
 """
+
+import os
 
 import pytest
 
 from repro.emu import Emulator
+from repro.obs import run_lockstep
 from repro.pipeline import O3Core, baseline_config, mssr_config, ri_config
 from repro.workloads import get_workload
 
 _SCALE = 0.08
+
+#: Opt-in deep mode: lockstep-check every commit (slower, more precise).
+_LOCKSTEP = bool(os.environ.get("REPRO_LOCKSTEP", "").strip())
 
 # A representative subset per scheme keeps runtime reasonable; the full
 # matrix runs in the benchmark suite.
@@ -25,6 +36,11 @@ _RI_SET = ["nested-mispred", "bfs", "xz", "gobmk", "mcf17"]
 def _cosim(name, config):
     workload = get_workload(name)
     _mod, prog = workload.build(_SCALE)
+    if _LOCKSTEP:
+        outcome = run_lockstep(prog, config)
+        assert outcome.ok, \
+            "%s:\n%s" % (name, outcome.divergence.format())
+        return outcome.result
     emu = Emulator(prog).run()
     result = O3Core(prog, config).run()
     assert result.regs == emu.regs, name

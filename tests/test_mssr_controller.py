@@ -10,9 +10,9 @@ from repro.isa import Op, Instruction
 from repro.isa.instruction import INST_BYTES
 from repro.frontend.fetch import PredictionBlock
 from repro.mssr.controller import MSSRController
+from repro.obs import Observability
 from repro.pipeline.config import MSSRConfig
 from repro.pipeline.dyninst import DynInst
-from repro.pipeline.stats import SimStats
 
 
 class _StubRat:
@@ -32,7 +32,8 @@ class _StubCore:
     """Just enough of O3Core for the controller."""
 
     def __init__(self):
-        self.stats = SimStats()
+        self.obs = Observability()
+        self.stats = self.obs.stats
         self.rat = _StubRat()
         self.config = _StubConfig()
         self.freed = []

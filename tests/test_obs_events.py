@@ -1,0 +1,207 @@
+"""Observability layer: event records, bus semantics, sinks, traces.
+
+The load-bearing invariants:
+
+* attaching sinks must not change simulation results — identical
+  ``SimStats`` with and without tracing;
+* the counters are a pure view over the event stream —
+  :class:`MetricsSink` recomputes them from events alone and must agree
+  with the live stats;
+* the JSONL and Konata exports are well-formed.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    CallbackSink,
+    CommitEvent,
+    JsonlTraceSink,
+    KonataSink,
+    MetricsSink,
+    Observability,
+    RingBufferSink,
+    format_event,
+)
+from repro.obs.events import EVENT_TYPES, IssueEvent
+from repro.pipeline import O3Core, baseline_config, mssr_config, ri_config
+from repro.workloads import get_workload
+
+_SCALE = 0.08
+
+
+def _program(name="nested-mispred"):
+    _mod, prog = get_workload(name).build(_SCALE)
+    return prog
+
+
+def _run(prog, config, sinks=()):
+    obs = Observability(sinks=list(sinks))
+    core = O3Core(prog, config, obs=obs)
+    result = core.run()
+    obs.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Event records
+# ---------------------------------------------------------------------------
+def test_event_as_dict_is_flat_and_typed():
+    event = CommitEvent(cycle=7, seq=3, pc=0x1010, op="ADD", dest=5,
+                        result=12, mem_addr=None, mem_size=0,
+                        store_data=None, branch=None, mispredicted=False)
+    data = event.as_dict()
+    assert data["type"] == "commit"
+    assert data["cycle"] == 7 and data["pc"] == 0x1010
+    assert list(data)[0] == "type"
+    # Every value JSON-serialisable.
+    json.dumps(data)
+
+
+def test_every_event_type_has_unique_etype():
+    etypes = [cls.etype for cls in EVENT_TYPES]
+    assert len(etypes) == len(set(etypes))
+
+
+def test_format_event_renders_pc_in_hex():
+    line = format_event(IssueEvent(cycle=4, seq=9, pc=0x1234, op="MUL"))
+    assert "0x1234" in line and "issue" in line and "MUL" in line
+
+
+# ---------------------------------------------------------------------------
+# Bus semantics
+# ---------------------------------------------------------------------------
+def test_bus_disabled_without_sinks_and_toggles_with_attach():
+    obs = Observability()
+    assert not obs.enabled and obs.sinks == []
+    ring = obs.attach(RingBufferSink(8))
+    assert obs.enabled
+    obs.detach(ring)
+    assert not obs.enabled
+
+
+def test_counter_helpers_work_without_sinks():
+    obs = Observability()
+    obs.cond_branch(mispredicted=True)
+    obs.cond_branch(mispredicted=False)
+    obs.reconverge(0, 0x2000, 1, "software", 42)
+    assert obs.stats.cond_branches == 2
+    assert obs.stats.cond_mispredicts == 1
+    assert obs.stats.reconv_software == 1
+    assert obs.stats.stream_distance_hist == {1: 1}
+
+
+def test_ring_buffer_is_bounded_and_keeps_newest():
+    ring = RingBufferSink(capacity=4)
+    obs = Observability(sinks=[ring])
+    for seq in range(10):
+        obs.emit(IssueEvent(cycle=seq, seq=seq, pc=0x1000, op="ADD"))
+    events = ring.snapshot()
+    assert len(events) == 4
+    assert [e.seq for e in events] == [6, 7, 8, 9]
+    assert len(ring.format_lines()) == 4
+
+
+def test_callback_sink_sees_emission_order():
+    seen = []
+    obs = Observability(sinks=[CallbackSink(seen.append)])
+    first = IssueEvent(0, 0, 0x1000, "ADD")
+    second = IssueEvent(1, 1, 0x1004, "SUB")
+    obs.emit(first)
+    obs.emit(second)
+    assert seen == [first, second]
+
+
+# ---------------------------------------------------------------------------
+# Tracing never changes the simulation
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("config_fn", [
+    baseline_config,
+    lambda: mssr_config(num_streams=4),
+    lambda: ri_config(num_sets=64, assoc=2),
+], ids=["baseline", "mssr", "ri"])
+def test_stats_identical_with_and_without_sinks(config_fn):
+    prog = _program()
+    plain = _run(prog, config_fn())
+    traced = _run(prog, config_fn(),
+                  sinks=[RingBufferSink(64), JsonlTraceSink(io.StringIO())])
+    assert plain.stats.as_dict() == traced.stats.as_dict()
+    assert plain.regs == traced.regs
+
+
+@pytest.mark.parametrize("config_fn", [
+    baseline_config,
+    lambda: mssr_config(num_streams=4),
+    lambda: ri_config(num_sets=64, assoc=2),
+], ids=["baseline", "mssr", "ri"])
+def test_metrics_sink_agrees_with_live_counters(config_fn):
+    metrics = MetricsSink()
+    result = _run(_program(), config_fn(), sinks=[metrics])
+    assert metrics.verify(result.stats) == []
+    assert metrics.stats.committed_insts == result.stats.committed_insts
+
+
+# ---------------------------------------------------------------------------
+# Trace exports
+# ---------------------------------------------------------------------------
+def test_jsonl_trace_is_wellformed():
+    buffer = io.StringIO()
+    sink = JsonlTraceSink(buffer)
+    result = _run(_program(), mssr_config(num_streams=4), sinks=[sink])
+    lines = buffer.getvalue().splitlines()
+    assert lines and len(lines) == sink.count
+    commits = 0
+    for line in lines:
+        data = json.loads(line)
+        assert "type" in data and "cycle" in data
+        commits += data["type"] == "commit"
+    assert commits == result.stats.committed_insts
+
+
+def test_konata_export_format():
+    buffer = io.StringIO()
+    _run(_program("linear-mispred"), baseline_config(),
+         sinks=[KonataSink(buffer)])
+    lines = buffer.getvalue().splitlines()
+    assert lines[0] == "Kanata\t0004"
+    assert lines[1].startswith("C=\t")
+    kinds = {line.split("\t", 1)[0] for line in lines[1:]}
+    assert {"I", "L", "S", "E", "R", "C"} <= kinds
+    retire_flags = [line.split("\t")[3] for line in lines
+                    if line.startswith("R\t")]
+    assert "0" in retire_flags     # retired instructions
+    assert "1" in retire_flags     # flushed (squashed) instructions
+
+
+# ---------------------------------------------------------------------------
+# Harness integration
+# ---------------------------------------------------------------------------
+def test_cli_trace_subcommand(tmp_path):
+    from repro.harness.cli import main as cli_main
+    trace = tmp_path / "t.jsonl"
+    konata = tmp_path / "t.kanata"
+    out = io.StringIO()
+    rc = cli_main(["trace", "--workload", "linear-mispred", "--scale",
+                   str(_SCALE), "--out", str(trace),
+                   "--konata", str(konata), "--lockstep"], out=out)
+    assert rc == 0
+    assert "lockstep OK" in out.getvalue()
+    lines = trace.read_text().splitlines()
+    assert lines
+    for line in lines[:50]:
+        assert "type" in json.loads(line)
+    assert konata.read_text().startswith("Kanata\t0004")
+
+
+def test_repro_trace_env_attaches_jsonl_sink(tmp_path, monkeypatch):
+    from repro.harness.jobs import SimJob, execute, trace_path_for
+    monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
+    job = SimJob("linear-mispred", "baseline", _SCALE)
+    stats = execute(job)
+    path = trace_path_for(job, str(tmp_path))
+    lines = open(path).read().splitlines()
+    assert lines
+    commits = sum(json.loads(line)["type"] == "commit" for line in lines)
+    assert commits == stats.committed_insts

@@ -5,13 +5,19 @@ accesses to a scratch buffer and forward branches; the out-of-order core
 (baseline and MSSR) must match the functional emulator's final
 architectural state exactly. This fuzzes the pipeline against
 combinations no hand-written test covers.
+
+The ``*_lockstep`` variants run the same generated programs under the
+commit-by-commit differential checker, so a divergence found by fuzzing
+is localised to the exact first wrong commit rather than a final-state
+diff.
 """
 
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import Assembler, Op
 from repro.emu import Emulator
-from repro.pipeline import O3Core, baseline_config, mssr_config
+from repro.obs import run_lockstep
+from repro.pipeline import O3Core, baseline_config, mssr_config, ri_config
 
 _REGS = ["t0", "t1", "t2", "s1", "s3", "a4", "a5"]
 
@@ -95,3 +101,34 @@ def test_random_program_cosim_mssr(descriptors, seeds):
         max_cycles=200_000)
     assert result.regs == emu.regs
     assert result.memory == emu.memory
+
+
+def _lockstep(prog, config):
+    outcome = run_lockstep(prog, config, max_cycles=200_000)
+    assert outcome.ok, outcome.divergence.format()
+    assert outcome.commits == outcome.result.stats.committed_insts
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(_instruction, min_size=1, max_size=40),
+       st.lists(st.integers(min_value=-(1 << 40), max_value=1 << 40),
+                min_size=len(_REGS), max_size=len(_REGS)))
+def test_random_program_lockstep_baseline(descriptors, seeds):
+    _lockstep(_assemble(descriptors, seeds), baseline_config())
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(_instruction, min_size=5, max_size=40),
+       st.lists(st.integers(min_value=-(1 << 40), max_value=1 << 40),
+                min_size=len(_REGS), max_size=len(_REGS)))
+def test_random_program_lockstep_mssr(descriptors, seeds):
+    _lockstep(_assemble(descriptors, seeds), mssr_config(num_streams=4))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(_instruction, min_size=5, max_size=40),
+       st.lists(st.integers(min_value=-(1 << 40), max_value=1 << 40),
+                min_size=len(_REGS), max_size=len(_REGS)))
+def test_random_program_lockstep_ri(descriptors, seeds):
+    _lockstep(_assemble(descriptors, seeds),
+              ri_config(num_sets=16, assoc=2))
