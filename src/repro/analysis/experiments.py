@@ -47,14 +47,18 @@ def _mssr_job(name, scale, streams, wpb, log):
                   {"streams": streams, "wpb": wpb, "log": log})
 
 
-def run_workload(name, kind="baseline", scale=0.15, jobs=None, **params):
+def run_workload(name, kind="baseline", scale=0.15, jobs=None,
+                 sampling=None, **params):
     """Simulate one workload under one configuration; returns SimStats.
 
     ``kind``: ``baseline``, ``mssr``, ``ri`` or ``dir``. A thin wrapper
     over the batch harness: results are memoised per job hash for the
-    process lifetime and persisted to the on-disk cache.
+    process lifetime and persisted to the on-disk cache. ``sampling``
+    (``True`` or a :class:`~repro.sampling.SamplingSpec`-shaped dict)
+    switches to SimPoint-sampled execution — the returned SimStats is
+    the weighted whole-program estimate.
     """
-    job = SimJob(name, kind, scale, params)
+    job = SimJob(name, kind, scale, params, sampling=sampling)
     return submit([job], n_jobs=jobs)[job]
 
 
@@ -167,16 +171,25 @@ FIG10_UPPER_BOUND = (4, 1024)
 
 
 def fig10_ipc_sweep(scale=0.12, suites=("spec2006", "spec2017", "gap"),
-                    configs=FIG10_CONFIGS, jobs=None):
-    """Returns {suite: {workload: {(streams, wpb): ipc_improvement}}}."""
+                    configs=FIG10_CONFIGS, jobs=None, sampling=None):
+    """Returns {suite: {workload: {(streams, wpb): ipc_improvement}}}.
+
+    ``sampling`` runs every point SimPoint-sampled instead of in full
+    (same spec across the sweep, so baselines and MSSR points measure
+    the same intervals and the improvement ratios stay comparable).
+    """
     base_jobs = {}
     point_jobs = {}
     for suite in suites:
         for workload in suite_names(suite):
-            base_jobs[workload] = SimJob(workload, "baseline", scale)
+            base_jobs[workload] = SimJob(workload, "baseline", scale,
+                                         sampling=sampling)
             for streams, wpb in configs:
-                point_jobs[(workload, streams, wpb)] = _mssr_job(
-                    workload, scale, streams, wpb, min(4 * wpb, 4096))
+                point_jobs[(workload, streams, wpb)] = SimJob(
+                    workload, "mssr", scale,
+                    {"streams": streams, "wpb": wpb,
+                     "log": min(4 * wpb, 4096)},
+                    sampling=sampling)
     results = submit(list(base_jobs.values()) + list(point_jobs.values()),
                      n_jobs=jobs)
 

@@ -53,6 +53,13 @@ class Emulator:
         self.pc = program.entry
         self.inst_count = 0
         self.halted = False
+        # Set by _execute for the most recent branch / memory access, so
+        # observers (trace recording, the sampling profiler's warmup
+        # capture) see the executed instruction's semantics rather than
+        # re-deriving them from pc deltas.
+        self.last_branch_taken = None
+        self.last_mem_addr = None
+        self.last_mem_size = None
 
     # ------------------------------------------------------------------
     def step(self):
@@ -76,15 +83,18 @@ class Emulator:
                 if inst.writes_reg:
                     regs[inst.dest] = next_pc
                 next_pc = inst.imm
+                self.last_branch_taken = True
             elif inst.op is Op.JALR:
                 target = wrap64(regs[inst.srcs[0]] + inst.imm) & ~1
                 if inst.writes_reg:
                     regs[inst.dest] = inst.pc + INST_BYTES
                 next_pc = target
+                self.last_branch_taken = True
             else:
                 taken = info.branch_fn(regs[inst.srcs[0]], regs[inst.srcs[1]])
                 if taken:
                     next_pc = inst.imm
+                self.last_branch_taken = taken
         elif op_class is OpClass.LOAD:
             addr = wrap64(regs[inst.srcs[0]] + inst.imm)
             value = self.memory.read(addr, info.mem_size)
@@ -92,9 +102,13 @@ class Emulator:
                 value = _sext32(value)
             if inst.writes_reg:
                 regs[inst.dest] = value
+            self.last_mem_addr = addr
+            self.last_mem_size = info.mem_size
         elif op_class is OpClass.STORE:
             addr = wrap64(regs[inst.srcs[1]] + inst.imm)
             self.memory.write(addr, regs[inst.srcs[0]], info.mem_size)
+            self.last_mem_addr = addr
+            self.last_mem_size = info.mem_size
         elif op_class is OpClass.HALT:
             self.halted = True
         elif op_class is OpClass.NOP:
@@ -112,35 +126,59 @@ class Emulator:
         self.pc = next_pc
 
     # ------------------------------------------------------------------
-    def run(self, max_insts=50_000_000):
-        """Run to ``halt``; returns an :class:`EmulationResult`."""
-        while not self.halted:
-            if self.inst_count >= max_insts:
-                raise EmulationError(
-                    "instruction budget exhausted (%d)" % max_insts)
-            self.step()
+    def run_until(self, max_insts, on_inst=None):
+        """Step until ``halt`` or the instruction budget is reached.
+
+        The single budgeted stepper behind :meth:`run`, :meth:`run_trace`
+        and the sampling profiler. ``on_inst(pc, inst)`` is invoked after
+        every executed instruction (``pc`` is the instruction's own
+        address); the callback may inspect ``last_branch_taken`` /
+        ``last_mem_addr`` / ``pc`` for the executed semantics. Returns
+        True when the program halted, False when the budget ran out
+        first (callers decide whether that is an error).
+        """
+        step = self.step
+        if on_inst is None:
+            while not self.halted and self.inst_count < max_insts:
+                step()
+        else:
+            while not self.halted and self.inst_count < max_insts:
+                pc_before = self.pc
+                inst = step()
+                on_inst(pc_before, inst)
+        return self.halted
+
+    def result(self):
+        """Snapshot the current state as an :class:`EmulationResult`."""
         return EmulationResult(list(self.regs), self.memory,
                                self.inst_count, self.halted, self.pc)
 
+    def run(self, max_insts=50_000_000):
+        """Run to ``halt``; returns an :class:`EmulationResult`."""
+        if not self.run_until(max_insts):
+            raise EmulationError(
+                "instruction budget exhausted (%d)" % max_insts)
+        return self.result()
+
     def run_trace(self, max_insts=50_000_000):
-        """Run to ``halt`` recording (pc, taken) for every control inst.
+        """Run to ``halt`` recording (pc, taken, target) per control inst.
 
         Used by branch-predictor characterisation tests; the full dynamic
-        trace would be too large to keep for big runs.
+        trace would be too large to keep for big runs. Taken-ness comes
+        from the executed instruction's semantics (``last_branch_taken``),
+        so a taken branch whose target happens to be the fall-through pc
+        is still recorded as taken.
         """
         trace = []
-        while not self.halted:
-            if self.inst_count >= max_insts:
-                raise EmulationError(
-                    "instruction budget exhausted (%d)" % max_insts)
-            pc_before = self.pc
-            inst = self.step()
+
+        def record(pc_before, inst):
             if inst.is_branch:
-                taken = self.pc != pc_before + INST_BYTES
-                trace.append((pc_before, taken, self.pc))
-        result = EmulationResult(list(self.regs), self.memory,
-                                 self.inst_count, self.halted, self.pc)
-        return result, trace
+                trace.append((pc_before, self.last_branch_taken, self.pc))
+
+        if not self.run_until(max_insts, on_inst=record):
+            raise EmulationError(
+                "instruction budget exhausted (%d)" % max_insts)
+        return self.result(), trace
 
 
 def run_program(program, max_insts=50_000_000, init_regs=None):

@@ -52,6 +52,73 @@ def default_cache_dir():
     return os.path.join(base, "repro-sim")
 
 
+# ---------------------------------------------------------------------------
+# Store walking / pruning, shared by every on-disk store with the
+# ``<root>/<fingerprint>/<key>.json`` layout (the result cache here and
+# the checkpoint store in :mod:`repro.sampling.checkpoint`).
+# ---------------------------------------------------------------------------
+def walk_store(directory):
+    """Yield ``(path, size_bytes, mtime)`` for every JSON entry under
+    every fingerprint subdirectory of ``directory`` (missing or
+    unreadable paths are silently skipped, like every cache I/O)."""
+    try:
+        fingerprints = sorted(os.listdir(directory))
+    except OSError:
+        return
+    for fingerprint in fingerprints:
+        sub = os.path.join(directory, fingerprint)
+        try:
+            names = sorted(os.listdir(sub))
+        except OSError:
+            continue
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(sub, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            yield path, info.st_size, info.st_mtime
+
+
+def prune_store(directory, max_age_days=None, max_bytes=None, now=None):
+    """Prune a ``<root>/<fingerprint>/<key>.json`` store.
+
+    Drops entries older than ``max_age_days`` first, then the oldest
+    remaining entries until the store fits in ``max_bytes``. Either
+    limit may be None (no limit). Returns the number of entries
+    removed; failures degrade to keeping the entry.
+    """
+    import time
+    now = time.time() if now is None else now
+    entries = sorted(walk_store(directory), key=lambda e: e[2])
+    removed = 0
+    kept = []
+    for path, size, mtime in entries:
+        if max_age_days is not None \
+                and now - mtime > max_age_days * 86400.0:
+            try:
+                os.unlink(path)
+                removed += 1
+                continue
+            except OSError:
+                pass
+        kept.append((path, size, mtime))
+    if max_bytes is not None:
+        total = sum(size for _path, size, _mtime in kept)
+        for path, size, _mtime in kept:  # oldest first
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+                removed += 1
+                total -= size
+            except OSError:
+                pass
+    return removed
+
+
 class ResultCache:
     """JSON result store keyed by job hash + code fingerprint.
 
@@ -121,6 +188,18 @@ class ResultCache:
         except OSError:
             return 0
         return sum(1 for name in names if name.endswith(".json"))
+
+    def prune(self, max_age_days=None, max_bytes=None):
+        """Prune old / excess entries across *all* fingerprints (stale
+        fingerprints are exactly what pruning should reclaim first).
+        Returns the number of entries removed."""
+        return prune_store(self.directory, max_age_days=max_age_days,
+                           max_bytes=max_bytes)
+
+    def total_bytes(self):
+        """Total size of every entry across all fingerprints."""
+        return sum(size for _path, size, _mtime
+                   in walk_store(self.directory))
 
     def clear(self, all_fingerprints=False):
         """Drop cached results (current fingerprint only by default).

@@ -4,9 +4,13 @@ Reproduce single points (or small sweeps) without pytest::
 
     python -m repro.harness run --workload bfs --kind mssr --streams 4
     python -m repro.harness run --workload bfs --workload cc --jobs 8 --json
+    python -m repro.harness run --workload bfs --sampled --interval 2000
     python -m repro.harness trace --workload bfs --kind mssr --out bfs.jsonl
+    python -m repro.harness profile --workload bfs --interval 2000
+    python -m repro.harness simpoints --workload bfs --interval 2000
     python -m repro.harness list
     python -m repro.harness cache --clear
+    python -m repro.harness cache prune --max-age-days 30
 """
 
 import argparse
@@ -39,6 +43,30 @@ def _build_parser():
                      help="bypass the on-disk result cache")
     run.add_argument("--json", action="store_true", dest="as_json",
                      help="emit full stats as JSON instead of summaries")
+    run.add_argument("--sampled", action="store_true",
+                     help="SimPoint-sampled execution instead of a full "
+                          "detailed run")
+    _add_sampling_args(run)
+
+    profile = sub.add_parser(
+        "profile", help="profile a workload into per-interval BBVs")
+    profile.add_argument("--workload", required=True, help="workload name")
+    profile.add_argument("--scale", type=float, default=0.15,
+                         help="workload scale factor (default: 0.15)")
+    profile.add_argument("--interval", type=int, default=None,
+                         help="interval length in instructions")
+    profile.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the full profile as JSON")
+
+    simpoints = sub.add_parser(
+        "simpoints", help="profile + pick representative intervals")
+    simpoints.add_argument("--workload", required=True,
+                           help="workload name")
+    simpoints.add_argument("--scale", type=float, default=0.15,
+                           help="workload scale factor (default: 0.15)")
+    simpoints.add_argument("--json", action="store_true", dest="as_json",
+                           help="emit the selection as JSON")
+    _add_sampling_args(simpoints)
 
     trace = sub.add_parser(
         "trace", help="simulate one job with the event bus enabled")
@@ -56,11 +84,53 @@ def _build_parser():
     lst = sub.add_parser("list", help="list registered workloads")
     lst.add_argument("--suite", help="restrict to one suite")
 
-    cache = sub.add_parser("cache", help="inspect the on-disk cache")
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the on-disk stores (results + "
+                      "checkpoints)")
+    cache.add_argument("action", nargs="?", choices=("prune",),
+                       help="'prune' removes aged / excess entries from "
+                            "both stores")
     cache.add_argument("--clear", action="store_true",
                        help="drop cached results for the current code "
                             "fingerprint")
+    cache.add_argument("--max-age-days", type=float, default=None,
+                       help="prune: drop entries older than this")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="prune: drop oldest entries beyond this "
+                            "total size")
     return parser
+
+
+def _add_sampling_args(parser):
+    """SimPoint knobs shared by ``run --sampled`` and ``simpoints``."""
+    parser.add_argument("--interval", type=int, default=None,
+                        help="interval length in instructions "
+                             "(default: 100000)")
+    parser.add_argument("--max-k", type=int, default=None,
+                        help="maximum number of clusters (default: 8)")
+    parser.add_argument("--warmup-branches", type=int, default=None,
+                        help="branches replayed into the predictors "
+                             "before each interval (default: 2048)")
+    parser.add_argument("--warmup-mem", type=int, default=None,
+                        help="memory accesses replayed into the caches "
+                             "before each interval (default: 4096)")
+    parser.add_argument("--detail-warmup", type=int, default=None,
+                        help="instructions simulated in detail (stats "
+                             "discarded) before each interval "
+                             "(default: 1000)")
+
+
+def _collect_sampling(args):
+    """A SamplingSpec kwargs dict from CLI flags (only set flags)."""
+    spec = {}
+    for attr, key in (("interval", "interval_insts"), ("max_k", "max_k"),
+                      ("warmup_branches", "warmup_branches"),
+                      ("warmup_mem", "warmup_mem"),
+                      ("detail_warmup", "detail_warmup_insts")):
+        value = getattr(args, attr, None)
+        if value is not None:
+            spec[key] = value
+    return spec
 
 
 def _add_job_args(parser):
@@ -104,11 +174,15 @@ def _expand_workloads(names):
 
 def _cmd_run(args, out):
     try:
+        sampling = None
+        if args.sampled:
+            sampling = _collect_sampling(args) or True
         workloads = _expand_workloads(args.workload)
         jobset = [SimJob(name, args.kind, args.scale,
                          _collect_params(args),
                          max_cycles=args.max_cycles,
-                         wall_seconds=args.wall_timeout)
+                         wall_seconds=args.wall_timeout,
+                         sampling=sampling)
                   for name in workloads]
     except (KeyError, ValueError) as exc:
         _log.error("%s", exc)
@@ -194,6 +268,69 @@ def _cmd_trace(args, out):
     return 0
 
 
+def _build_profile(args):
+    """(program, BBVProfile) for the profile/simpoints subcommands."""
+    from repro.sampling.bbv import DEFAULT_INTERVAL, profile_program
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    _mod, prog = workload.build(args.scale)
+    interval = args.interval or DEFAULT_INTERVAL
+    return prog, profile_program(prog, interval)
+
+
+def _cmd_profile(args, out):
+    try:
+        _prog, profile = _build_profile(args)
+    except (KeyError, ValueError) as exc:
+        _log.error("%s", exc)
+        return 2
+
+    if args.as_json:
+        json.dump(profile.as_dict(), out, indent=2, sort_keys=True)
+        out.write("\n")
+        return 0
+    out.write("%s scale=%s: %d insts, %d interval(s) x %d, "
+              "%d block leader(s)\n"
+              % (args.workload, args.scale, profile.total_insts,
+                 profile.num_intervals, profile.interval_insts,
+                 len(profile.block_leaders())))
+    for iv in profile.intervals:
+        out.write("  interval %-3d [%7d..%7d)  %d block(s)\n"
+                  % (iv.index, iv.start_inst,
+                     iv.start_inst + iv.num_insts, len(iv.bbv)))
+    return 0
+
+
+def _cmd_simpoints(args, out):
+    from repro.sampling.simpoint import pick_simpoints
+
+    try:
+        _prog, profile = _build_profile(args)
+        spec = _collect_sampling(args)
+        selection = pick_simpoints(profile,
+                                   max_k=spec.get("max_k", 8))
+    except (KeyError, ValueError) as exc:
+        _log.error("%s", exc)
+        return 2
+
+    if args.as_json:
+        json.dump(selection.as_dict(), out, indent=2, sort_keys=True)
+        out.write("\n")
+        return 0
+    out.write("%s scale=%s: k=%d of %d interval(s), err<=%.3f, "
+              "coverage=%.1f%%\n"
+              % (args.workload, args.scale, selection.k,
+                 selection.num_intervals, selection.error_bound,
+                 100.0 * selection.coverage()))
+    for point in selection.points:
+        out.write("  interval %-3d start=%-7d insts=%-6d weight=%.3f "
+                  "(%d member(s))\n"
+                  % (point.index, point.start_inst, point.num_insts,
+                     point.weight, point.cluster_size))
+    return 0
+
+
 def _cmd_list(args, out):
     from repro.workloads.registry import SUITES, get_workload, \
         suite_names, workload_names
@@ -214,13 +351,30 @@ def _cmd_list(args, out):
 
 
 def _cmd_cache(args, out):
+    from repro.sampling.checkpoint import CheckpointStore
+
     cache = ResultCache.from_env() or ResultCache()
+    store = CheckpointStore.from_env() or CheckpointStore()
     if args.clear:
         removed = cache.clear()
         out.write("removed %d cached result(s)\n" % removed)
+    if args.action == "prune":
+        if args.max_age_days is None and args.max_bytes is None:
+            _log.error("prune needs --max-age-days and/or --max-bytes")
+            return 2
+        removed = cache.prune(max_age_days=args.max_age_days,
+                              max_bytes=args.max_bytes)
+        out.write("pruned %d cached result(s)\n" % removed)
+        removed = store.prune(max_age_days=args.max_age_days,
+                              max_bytes=args.max_bytes)
+        out.write("pruned %d checkpoint entr(y/ies)\n" % removed)
     out.write("cache dir   : %s\n" % cache.directory)
     out.write("fingerprint : %s\n" % code_fingerprint())
-    out.write("entries     : %d\n" % cache.entries())
+    out.write("entries     : %d (%d bytes)\n"
+              % (cache.entries(), cache.total_bytes()))
+    out.write("ckpt dir    : %s\n" % store.directory)
+    out.write("ckpt entries: %d (%d bytes)\n"
+              % (store.entries(), store.total_bytes()))
     return 0
 
 
@@ -232,6 +386,10 @@ def main(argv=None, out=None):
         return _cmd_run(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
+    if args.command == "simpoints":
+        return _cmd_simpoints(args, out)
     if args.command == "list":
         return _cmd_list(args, out)
     return _cmd_cache(args, out)

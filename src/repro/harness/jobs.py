@@ -43,6 +43,13 @@ class SimJob:
     keyword order. ``max_cycles`` and ``wall_seconds`` are safety guards
     only — a guarded run either produces the exact same stats or fails —
     so they are excluded from the job hash.
+
+    ``sampling`` switches the job to SimPoint-sampled execution
+    (:mod:`repro.sampling`): ``True`` for the default
+    :class:`~repro.sampling.sampler.SamplingSpec`, or a dict /
+    ``SamplingSpec`` of knobs. It is canonicalised to a sorted tuple of
+    pairs and only enters the job hash when set, so the hashes of all
+    full-run jobs (and any results already on disk) are unchanged.
     """
 
     workload: str
@@ -51,6 +58,7 @@ class SimJob:
     params: Tuple = ()
     max_cycles: Optional[int] = None
     wall_seconds: Optional[float] = None
+    sampling: Optional[Tuple] = None
 
     def __post_init__(self):
         if self.kind not in KIND_PARAMS:
@@ -69,20 +77,37 @@ class SimJob:
                     % (key, self.kind, ", ".join(allowed) or "none"))
         object.__setattr__(self, "params", params)
         object.__setattr__(self, "scale", round(float(self.scale), 6))
+        if self.sampling is not None:
+            from repro.sampling.sampler import SamplingSpec
+            spec = SamplingSpec() if self.sampling is True \
+                else SamplingSpec.from_any(self.sampling)
+            object.__setattr__(self, "sampling",
+                               tuple(sorted(spec.spec().items())))
 
     # ------------------------------------------------------------------
     @property
     def param_dict(self):
         return dict(self.params)
 
+    @property
+    def sampling_spec(self):
+        """The :class:`~repro.sampling.sampler.SamplingSpec`, or None."""
+        if self.sampling is None:
+            return None
+        from repro.sampling.sampler import SamplingSpec
+        return SamplingSpec.from_any(self.sampling)
+
     def spec(self):
         """Canonical JSON-able description (hash input)."""
-        return {
+        out = {
             "workload": self.workload,
             "kind": self.kind,
             "scale": self.scale,
             "params": [[k, v] for k, v in self.params],
         }
+        if self.sampling is not None:
+            out["sampling"] = [[k, v] for k, v in self.sampling]
+        return out
 
     def job_hash(self):
         blob = json.dumps(self.spec(), sort_keys=True,
@@ -91,8 +116,9 @@ class SimJob:
 
     def label(self):
         params = " ".join("%s=%s" % kv for kv in self.params)
-        return "%s/%s%s%s" % (self.workload, self.kind,
-                              " " if params else "", params)
+        sampled = " [sampled]" if self.sampling is not None else ""
+        return "%s/%s%s%s%s" % (self.workload, self.kind,
+                                " " if params else "", params, sampled)
 
     def __repr__(self):
         return "<SimJob %s scale=%s>" % (self.label(), self.scale)
@@ -197,6 +223,13 @@ def execute(job, obs=None):
     ``obs`` attaches an observability bus to the simulated core; when
     omitted and ``REPRO_TRACE`` names a directory, a per-job JSONL
     trace sink is attached automatically.
+
+    Jobs with a ``sampling`` spec route through
+    :func:`repro.sampling.sampler.run_sampled` instead of a full
+    detailed run; their checkpoints persist in the
+    :class:`~repro.sampling.checkpoint.CheckpointStore`
+    (``REPRO_CKPT_DIR``), keyed by (workload, scale, sampling spec)
+    only, so every configuration kind of the same program shares them.
     """
     from repro.pipeline.core import O3Core
     from repro.workloads import get_workload
@@ -210,6 +243,19 @@ def execute(job, obs=None):
             _mod, prog = workload.build(job.scale)
             params = job.param_dict
             config = build_config(job.kind, **params)
+            if job.sampling is not None:
+                from repro.sampling.checkpoint import CheckpointStore
+                from repro.sampling.sampler import run_sampled
+                result = run_sampled(
+                    prog, config,
+                    scheme_factory=lambda: build_scheme(job.kind,
+                                                        **params),
+                    spec=job.sampling_spec, obs=obs,
+                    max_cycles=job.max_cycles,
+                    store=CheckpointStore.from_env(),
+                    key_spec={"workload": job.workload,
+                              "scale": job.scale})
+                return result.stats
             scheme = build_scheme(job.kind, **params)
             core = O3Core(prog, config, reuse_scheme=scheme, obs=obs)
             result = core.run(max_cycles=job.max_cycles)

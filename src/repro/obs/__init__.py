@@ -29,6 +29,7 @@ from repro.obs.events import (
     CommitEvent,
     Event,
     FetchEvent,
+    IntervalEvent,
     IssueEvent,
     ReconvergeEvent,
     RenameEvent,
@@ -57,6 +58,7 @@ __all__ = [
     "Event",
     "EVENT_TYPES",
     "FetchEvent",
+    "IntervalEvent",
     "RenameEvent",
     "IssueEvent",
     "WritebackEvent",

@@ -21,6 +21,7 @@ event objects are built, and hot stages guard emission with a single
 from repro.obs.events import (
     CommitEvent,
     FetchEvent,
+    IntervalEvent,
     IssueEvent,
     ReconvergeEvent,
     RenameEvent,
@@ -184,6 +185,14 @@ class Observability:
 
     def ri_invalidation(self):
         self.stats.ri_invalidations += 1
+
+    def interval_boundary(self, phase, index, start_inst, num_insts,
+                          weight):
+        """Mark a sampled-simulation interval ``begin`` / ``end`` on the
+        bus, so sinks can segment a sampled run's event stream."""
+        if self.enabled:
+            self.emit(IntervalEvent(self.cycle, phase, index, start_inst,
+                                    num_insts, weight))
 
     # ------------------------------------------------------------------
     # Counter-less stage events (call sites guard on ``enabled``)

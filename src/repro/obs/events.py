@@ -200,10 +200,33 @@ class ReuseAttemptEvent(Event):
         self.is_load = is_load
 
 
+class IntervalEvent(Event):
+    """A sampled-simulation interval began or ended.
+
+    ``phase`` is ``begin`` / ``end``; ``index`` is the interval's
+    position in the full dynamic instruction stream, ``start_inst`` its
+    first instruction number, and ``weight`` the SimPoint cluster weight
+    it represents. Sinks see every interval of a sampled run on one bus,
+    so traces (and per-interval lockstep checks) can segment the stream.
+    """
+
+    __slots__ = ("cycle", "phase", "index", "start_inst", "num_insts",
+                 "weight")
+    etype = "interval"
+
+    def __init__(self, cycle, phase, index, start_inst, num_insts, weight):
+        self.cycle = cycle
+        self.phase = phase
+        self.index = index
+        self.start_inst = start_inst
+        self.num_insts = num_insts
+        self.weight = weight
+
+
 #: Every concrete event class, in pipeline order (trace documentation).
 EVENT_TYPES = (FetchEvent, RenameEvent, IssueEvent, WritebackEvent,
                CommitEvent, SquashEvent, ReconvergeEvent,
-               ReuseAttemptEvent)
+               ReuseAttemptEvent, IntervalEvent)
 
 
 def format_event(event):

@@ -62,6 +62,25 @@ class SimResult:
         return self.regs[reg_num(name_or_num)]
 
 
+class InitialState:
+    """Architectural state injected into a core before cycle 0.
+
+    Lets the detailed pipeline start mid-program (sampled simulation):
+    ``pc`` steers the first fetch, ``regs`` seeds the architectural
+    register file through the RAT, and ``mem_words`` (aligned word
+    address -> value) is applied on top of the program's initial memory
+    image. Produced by :meth:`repro.sampling.checkpoint.Checkpoint.
+    initial_state`; any object with these three attributes works.
+    """
+
+    __slots__ = ("pc", "regs", "mem_words")
+
+    def __init__(self, pc, regs, mem_words=None):
+        self.pc = pc
+        self.regs = list(regs)
+        self.mem_words = dict(mem_words or {})
+
+
 class _SquashRequest:
     __slots__ = ("boundary_seq", "trigger", "kind", "redirect_pc")
 
@@ -88,7 +107,8 @@ class O3Core:
     metrics view.
     """
 
-    def __init__(self, program, config=None, reuse_scheme=None, obs=None):
+    def __init__(self, program, config=None, reuse_scheme=None, obs=None,
+                 init_state=None):
         self.program = program
         self.config = config or CoreConfig()
         cfg = self.config
@@ -136,8 +156,26 @@ class O3Core:
         self.halted = False
         self._last_commit_cycle = 0
         self._last_retired_block = -1
+        self._commit_limit = None    # committed-inst budget (run(max_insts=))
+        self._budget_stop = False    # halted by the budget, not `halt`
+
+        if init_state is not None:
+            self._inject_state(init_state)
 
         self.scheme.attach(self)
+
+    def _inject_state(self, init_state):
+        """Seed architectural state before cycle 0 (sampled simulation)."""
+        for addr, value in init_state.mem_words.items():
+            self.memory.write_word(addr, value)
+        for arch, value in enumerate(init_state.regs):
+            if arch == 0:
+                continue
+            self.regfile.set_value(self.rat.lookup(arch), value)
+        self.fetch.redirect(init_state.pc)
+        if self.fetch.stalled:
+            raise ValueError("initial state pc %#x is outside the program"
+                             % init_state.pc)
 
     @staticmethod
     def _build_scheme(cfg):
@@ -153,8 +191,22 @@ class O3Core:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, max_cycles=None):
-        """Simulate to ``halt``; returns a :class:`SimResult`."""
+    def run(self, max_cycles=None, max_insts=None):
+        """Simulate to ``halt``; returns a :class:`SimResult`.
+
+        ``max_insts`` is a committed-instruction budget: the run stops
+        cleanly (not an error) once that many instructions have retired,
+        which is how sampled simulation bounds one interval. A budget-
+        stopped core can be resumed with another ``run(max_insts=...)``
+        call — the pipeline keeps all its in-flight state, so a sampler
+        can run a discarded detailed-warmup slice and the measured
+        interval back to back.
+        """
+        self._commit_limit = self.stats.committed_insts + max_insts \
+            if max_insts is not None else None
+        if self._budget_stop:
+            self._budget_stop = False
+            self.halted = False
         limit = max_cycles or self.config.max_cycles
         while not self.halted:
             if self.cycle >= limit:
@@ -196,6 +248,8 @@ class O3Core:
             self._apply_squash(self._squash_request)
             self._squash_request = None
         self.scheme.on_cycle(self.cycle)
+        if self._budget_stop:
+            self.halted = True
 
     def arch_regs(self):
         """Current architectural register values via the RAT."""
@@ -219,6 +273,14 @@ class O3Core:
             self._last_commit_cycle = self.cycle
             if head.inst.is_halt:
                 self.halted = True
+                return
+            if self._commit_limit is not None \
+                    and self.stats.committed_insts >= self._commit_limit:
+                # Stop committing, but let the rest of this cycle's
+                # stages run before halting (step() raises the halt):
+                # completion events already scheduled for this cycle
+                # must drain, or a resumed run would deadlock on them.
+                self._budget_stop = True
                 return
 
     def _commit_inst(self, head):

@@ -17,10 +17,25 @@ class Workload:
         self._cache = {}
 
     def build(self, scale=1.0):
-        """Returns ``(module, program)`` for the given scale factor."""
-        key = round(float(scale), 6)
+        """Returns ``(module, program)`` for the given scale factor.
+
+        ``scale`` must be a positive number; it is rounded to 6 decimal
+        places before both caching and building, so two scales that
+        round to the same key always return the identical program (and
+        hash to the same :class:`~repro.harness.SimJob` point).
+        """
+        try:
+            scale = float(scale)
+        except (TypeError, ValueError):
+            raise ValueError("scale must be a number, got %r"
+                             % (scale,)) from None
+        if not scale > 0.0:
+            raise ValueError(
+                "scale must be positive, got %r (workload %s)"
+                % (scale, self.name))
+        key = round(scale, 6)
         if key not in self._cache:
-            module, program = self.builder(scale)
+            module, program = self.builder(key)
             self._cache[key] = (module, program)
         return self._cache[key]
 
