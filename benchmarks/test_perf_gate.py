@@ -1,0 +1,120 @@
+"""Perf regression gate: fresh throughput vs the checked-in baseline.
+
+Lives in ``benchmarks/`` (outside the tier-1 ``tests/`` path) because it
+measures wall-clock throughput — meaningful on a quiet machine, noisy in
+a shared test run. Run it explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_gate.py -q
+
+Environment knobs (used by the CI smoke step):
+
+* ``REPRO_PERF_THRESHOLD`` — allowed normalised-throughput drop
+  (default 0.15; CI uses a looser 0.25 on shared runners).
+* ``REPRO_PERF_CURRENT`` — path to an already-measured report to gate
+  instead of re-measuring (CI reuses the report it just produced for
+  the artifact upload).
+
+Comparisons are calibration-normalised (see :mod:`repro.perf.bench`),
+so the checked-in absolute numbers do not need to match this machine.
+"""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.perf.bench import (DEFAULT_MATRIX, build_report,
+                              calibration_kops, compare_reports,
+                              load_report, matrix_from_report, run_bench)
+
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_PIPELINE.json")
+
+
+def _threshold():
+    raw = os.environ.get("REPRO_PERF_THRESHOLD", "").strip()
+    return float(raw) if raw else 0.15
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    assert os.path.exists(BASELINE_PATH), \
+        "BENCH_PIPELINE.json baseline missing; regenerate with " \
+        "`python -m repro.harness perf`"
+    return load_report(BASELINE_PATH)
+
+
+def test_baseline_schema(baseline):
+    """The checked-in baseline is well-formed and covers the matrix."""
+    assert baseline["version"] >= 1
+    assert baseline["calibration_kops"] > 0
+    names = {r["point"]["name"] for r in baseline["points"]}
+    assert names == {p.name for p in DEFAULT_MATRIX}
+    for result in baseline["points"]:
+        assert result["seconds"] > 0
+        assert result["kinsts_per_s"] > 0
+        if result["point"]["mode"] == "core":
+            assert result["kcycles_per_s"] > 0
+
+
+def test_throughput_gate(baseline):
+    """Fresh measurement must stay within the regression threshold.
+
+    The measured matrix is rebuilt from the baseline's own point specs,
+    so a baseline regenerated with a different matrix stays gateable
+    without editing this test.
+    """
+    current_path = os.environ.get("REPRO_PERF_CURRENT", "").strip()
+    if current_path:
+        current = load_report(current_path)
+    else:
+        points = matrix_from_report(baseline)
+        current = build_report(run_bench(points, repeats=3),
+                               calibration=calibration_kops())
+    failures = compare_reports(current, baseline,
+                               threshold=_threshold())
+    assert not failures, "; ".join(failures)
+
+
+# ---------------------------------------------------------------------------
+# Gate logic (pure, no measurement): the gate must actually fire.
+# ---------------------------------------------------------------------------
+def _scaled(report, factor):
+    scaled = copy.deepcopy(report)
+    for result in scaled["points"]:
+        result["kinsts_per_s"] *= factor
+        if "kcycles_per_s" in result:
+            result["kcycles_per_s"] *= factor
+    return scaled
+
+
+def test_gate_flags_regression(baseline):
+    """A 20% normalised drop fails at the default 15% threshold."""
+    slower = _scaled(baseline, 0.80)
+    failures = compare_reports(slower, baseline, threshold=0.15)
+    assert len(failures) == len(baseline["points"])
+
+
+def test_gate_passes_within_threshold(baseline):
+    """A 10% drop (and any speedup) passes at the 15% threshold."""
+    assert compare_reports(_scaled(baseline, 0.90), baseline,
+                           threshold=0.15) == []
+    assert compare_reports(_scaled(baseline, 1.50), baseline,
+                           threshold=0.15) == []
+
+
+def test_gate_normalises_by_calibration(baseline):
+    """Half-speed machine: all raw metrics *and* the calibration drop
+    2x -> normalised ratios are unchanged -> gate passes."""
+    slower_machine = _scaled(baseline, 0.5)
+    slower_machine["calibration_kops"] *= 0.5
+    assert compare_reports(slower_machine, baseline,
+                           threshold=0.15) == []
+
+
+def test_baseline_is_valid_json_on_disk():
+    """Guards against a hand-edited / merge-damaged baseline file."""
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    assert isinstance(raw["points"], list) and raw["points"]

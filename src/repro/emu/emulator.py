@@ -8,6 +8,7 @@ which the analysis tools use for branch statistics.
 
 from repro.isa.instruction import INST_BYTES
 from repro.isa.opcodes import Op, OpClass
+from repro.isa.predecode import slowpath_enabled
 from repro.isa.program import STACK_TOP
 from repro.isa.registers import NUM_ARCH_REGS, reg_num
 from repro.emu.memory import SparseMemory
@@ -60,18 +61,30 @@ class Emulator:
         self.last_branch_taken = None
         self.last_mem_addr = None
         self.last_mem_size = None
+        # Fast path: predecoded semantic closures, one dict.get per
+        # instruction (bounds check + decode collapsed). REPRO_SLOWPATH=1
+        # keeps the original interpretive _execute for differential runs.
+        self._slow = slowpath_enabled()
+        self._pd_by_pc = program.predecode().by_pc
 
     # ------------------------------------------------------------------
     def step(self):
         """Execute one instruction; returns the executed Instruction."""
         if self.halted:
             raise EmulationError("program already halted")
-        if not self.program.has_pc(self.pc):
+        if self._slow:
+            if not self.program.has_pc(self.pc):
+                raise EmulationError("pc %#x leaves the program" % self.pc)
+            inst = self.program.inst_at(self.pc)
+            self._execute(inst)
+            self.inst_count += 1
+            return inst
+        rec = self._pd_by_pc.get(self.pc)
+        if rec is None:
             raise EmulationError("pc %#x leaves the program" % self.pc)
-        inst = self.program.inst_at(self.pc)
-        self._execute(inst)
+        self.pc = rec.exec_fn(self, self.regs)
         self.inst_count += 1
-        return inst
+        return rec.inst
 
     def _execute(self, inst):
         regs = self.regs
@@ -137,15 +150,45 @@ class Emulator:
         True when the program halted, False when the budget ran out
         first (callers decide whether that is an error).
         """
-        step = self.step
-        if on_inst is None:
-            while not self.halted and self.inst_count < max_insts:
-                step()
-        else:
-            while not self.halted and self.inst_count < max_insts:
-                pc_before = self.pc
-                inst = step()
-                on_inst(pc_before, inst)
+        if self._slow:
+            step = self.step
+            if on_inst is None:
+                while not self.halted and self.inst_count < max_insts:
+                    step()
+            else:
+                while not self.halted and self.inst_count < max_insts:
+                    pc_before = self.pc
+                    inst = step()
+                    on_inst(pc_before, inst)
+            return self.halted
+
+        # Fast path: dispatch through the predecoded closures with the
+        # per-instruction state in locals; inst_count is committed back
+        # even when a closure (or the bounds check) raises.
+        get = self._pd_by_pc.get
+        regs = self.regs
+        count = self.inst_count
+        try:
+            if on_inst is None:
+                while not self.halted and count < max_insts:
+                    rec = get(self.pc)
+                    if rec is None:
+                        raise EmulationError(
+                            "pc %#x leaves the program" % self.pc)
+                    self.pc = rec.exec_fn(self, regs)
+                    count += 1
+            else:
+                while not self.halted and count < max_insts:
+                    pc_before = self.pc
+                    rec = get(pc_before)
+                    if rec is None:
+                        raise EmulationError(
+                            "pc %#x leaves the program" % pc_before)
+                    self.pc = rec.exec_fn(self, regs)
+                    count += 1
+                    on_inst(pc_before, rec.inst)
+        finally:
+            self.inst_count = count
         return self.halted
 
     def result(self):

@@ -13,6 +13,12 @@ class SparseMemory:
     def __init__(self, image=None):
         # aligned word address -> unsigned 64-bit value
         self._words = {}
+        # Last-word cache: the common sequential access pattern (sub-word
+        # reads/writes of the word just touched, read-after-write) skips
+        # the word-dict hash. The cache always mirrors ``_words`` — every
+        # write refreshes it — so it can never serve a stale value.
+        self._last_addr = -1
+        self._last_word = 0
         if image:
             for addr, value in image.items():
                 if addr % 8:
@@ -28,10 +34,20 @@ class SparseMemory:
     # Raw word access
     # ------------------------------------------------------------------
     def read_word(self, addr):
-        return self._words.get(addr & ~7, 0)
+        addr &= ~7
+        if addr == self._last_addr:
+            return self._last_word
+        value = self._words.get(addr, 0)
+        self._last_addr = addr
+        self._last_word = value
+        return value
 
     def write_word(self, addr, value):
-        self._words[addr & ~7] = value & MASK64
+        addr &= ~7
+        value &= MASK64
+        self._words[addr] = value
+        self._last_addr = addr
+        self._last_word = value
 
     # ------------------------------------------------------------------
     # Sized access (no alignment requirement across word boundaries is

@@ -27,9 +27,18 @@ class BranchTargetBuffer:
         self._tick = 0
         self.hits = 0
         self.misses = 0
+        # pc -> ways memo (static branch pcs are few; skips the shift/
+        # mod/index on every lookup of a hot indirect).
+        self._set_cache = {}
 
     def _set(self, pc):
-        return self.sets[(pc >> 2) % self.num_sets]
+        ways = self._set_cache.get(pc)
+        if ways is None:
+            if len(self._set_cache) >= (1 << 16):
+                self._set_cache.clear()
+            ways = self.sets[(pc >> 2) % self.num_sets]
+            self._set_cache[pc] = ways
+        return ways
 
     def lookup(self, pc):
         """Predicted target for ``pc`` or None on miss."""

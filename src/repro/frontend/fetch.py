@@ -64,6 +64,10 @@ class FetchUnit:
         self.btb = btb
         self.ras = ras
         self.block_insts = block_insts
+        # Predecoded view: membership in ``by_pc`` is exactly
+        # Program.has_pc, and each record carries the flattened fields
+        # the fetch loop needs (halt/branch classification).
+        self._by_pc = program.predecode().by_pc
 
         self.pc = program.entry
         self.stalled = False          # waiting for redirect (halt/invalid/
@@ -79,7 +83,7 @@ class FetchUnit:
     def redirect(self, pc):
         """Steer fetch (misprediction recovery or indirect resolution)."""
         self.pc = pc
-        self.stalled = not self.program.has_pc(pc)
+        self.stalled = pc not in self._by_pc
         if self.stalled:
             _log.debug("redirect to %#x leaves the code image; fetch "
                        "stalled until the next redirect", pc)
@@ -123,35 +127,41 @@ class FetchUnit:
     # ------------------------------------------------------------------
     def fetch_block(self, cycle):
         """Fetch one prediction block; returns it or None when stalled."""
-        if self.stalled or not self.program.has_pc(self.pc):
+        by_pc = self._by_pc
+        if self.stalled or self.pc not in by_pc:
             self.stalled = True
             return None
         block = PredictionBlock(self._next_block_id, self.pc)
         self._next_block_id += 1
         pc = self.pc
+        seq = self._next_seq
+        block_id = block.block_id
+        insts = block.insts
+        append = insts.append
         next_pc = None     # predicted PC after this block (None => stall)
         ended = False      # loop terminated by a control decision
-        while len(block.insts) < self.block_insts:
-            if not self.program.has_pc(pc):
+        while len(insts) < self.block_insts:
+            rec = by_pc.get(pc)
+            if rec is None:
                 # Ran off the code image mid-block (wrong path): stall.
                 ended = True
                 break
-            inst = self.program.inst_at(pc)
-            dyn = DynInst(self._next_seq, pc, inst, block.block_id, cycle)
-            self._next_seq += 1
-            block.insts.append(dyn)
+            dyn = DynInst(seq, pc, rec.inst, block_id, cycle, rec)
+            seq += 1
+            append(dyn)
             block.end_pc = pc
 
-            if inst.is_halt:
+            if rec.is_halt:
                 ended = True  # nothing sensible follows a halt
                 break
-            if inst.is_branch:
+            if rec.is_branch:
                 taken, target = self._predict_control(dyn)
                 if taken:
                     next_pc = target  # None for unpredictable indirects
                     ended = True
                     break
             pc += INST_BYTES
+        self._next_seq = seq
         if not ended:
             # Block filled to the fetch limit: fall through.
             next_pc = pc
@@ -161,7 +171,7 @@ class FetchUnit:
             self.stalled = True
         else:
             self.pc = next_pc
-            self.stalled = not self.program.has_pc(next_pc)
+            self.stalled = next_pc not in by_pc
 
         self.ftq.append(block)
         self.stats_blocks += 1
@@ -173,30 +183,30 @@ class FetchUnit:
 
         Also fills the DynInst's prediction bookkeeping fields.
         """
-        inst = dyn.inst
-        fallthrough = inst.pc + INST_BYTES
-        if inst.is_cond_branch:
-            taken, meta = self.predictor.predict(inst.pc)
+        pd = dyn.pd
+        fallthrough = pd.next_pc
+        if pd.is_cond_branch:
+            taken, meta = self.predictor.predict(pd.pc)
             dyn.bp_meta = meta
-            target = inst.imm if taken else fallthrough
+            target = pd.target if taken else fallthrough
             dyn.pred_npc = target
             return taken, target
 
         # Unconditional: jal / jalr.
         dyn.ras_snap = self.ras.snapshot()
-        if not inst.is_indirect:  # jal
-            if inst.dest == _RA:
+        if not pd.is_indirect:  # jal
+            if pd.dest == _RA:
                 self.ras.push(fallthrough)
-            dyn.pred_npc = inst.imm
-            return True, inst.imm
+            dyn.pred_npc = pd.target
+            return True, pd.target
 
         # jalr: return or other indirect.
         target = None
-        if inst.srcs and inst.srcs[0] == _RA and inst.dest != _RA:
+        if pd.src0 == _RA and pd.dest != _RA:
             target = self.ras.pop()
         if target is None:
-            target = self.btb.lookup(inst.pc)
-        if inst.dest == _RA:
+            target = self.btb.lookup(pd.pc)
+        if pd.dest == _RA:
             self.ras.push(fallthrough)
         dyn.pred_npc = target
         if target is None:

@@ -28,14 +28,23 @@ class BranchPredictor:
 
     name = "abstract"
 
+    #: History kept per push. Every consumer folds at most 128 history
+    #: bits (TAGE max_history) — without a cap the Python-int history
+    #: grows by one bit per branch and every shift/mask touches all of
+    #: it, so long runs slow down linearly. 1024 bits is far above any
+    #: consumer's window, making the truncation unobservable.
+    HISTORY_BITS = 1024
+
     def __init__(self):
-        # Global history as an unbounded int bit-vector; bit0 is the most
-        # recent outcome. Subclasses that don't use history ignore it.
+        # Global history as an int bit-vector; bit0 is the most recent
+        # outcome. Subclasses that don't use history ignore it.
         self.history = 0
+        self._history_mask = (1 << self.HISTORY_BITS) - 1
 
     # -- history helpers -------------------------------------------------
     def _push_history(self, taken):
-        self.history = ((self.history << 1) | (1 if taken else 0))
+        self.history = ((self.history << 1)
+                        | (1 if taken else 0)) & self._history_mask
 
     def snapshot_history(self):
         return self.history

@@ -64,20 +64,44 @@ class TagePredictor(BranchPredictor):
         self.use_alt_on_na = 8  # 4-bit counter, >=8 prefers altpred on weak
         self._update_count = 0
         self._alloc_seed = 0xACE1
+        # Folded-history memo, one per table: masked history -> the
+        # (index fold, tag fold, shifted second tag fold) triple. Real
+        # hardware keeps incrementally-updated folded registers; that
+        # uses a *different* fold function than our block-XOR `_fold`,
+        # so to stay bit-identical we memoize instead — loops revisit
+        # the same few history values, so the hit rate is high.
+        self._hist_masks = [(1 << n) - 1 for n in self.hist_lengths]
+        self._fold_caches = [{} for _ in range(num_tables)]
+        self._fold_cache_limit = 1 << 16
 
     # ------------------------------------------------------------------
     def _base_index(self, pc):
         return (pc >> 2) % self.base_entries
 
+    def _folds(self, table, history):
+        """Memoized ``(index fold, tag fold, tag fold2 << 1)`` for one
+        table. ``_fold`` masks its input to the history length first, so
+        keying the cache on the masked history is exact."""
+        masked = history & self._hist_masks[table]
+        cache = self._fold_caches[table]
+        folds = cache.get(masked)
+        if folds is None:
+            length = self.hist_lengths[table]
+            folds = (_fold(masked, length, 10),
+                     _fold(masked, length, self.tag_bits),
+                     _fold(masked, length, self.tag_bits - 1) << 1)
+            if len(cache) >= self._fold_cache_limit:
+                cache.clear()
+            cache[masked] = folds
+        return folds
+
     def _index(self, pc, table, history):
-        folded = _fold(history, self.hist_lengths[table], 10)
+        folded = self._folds(table, history)[0]
         return ((pc >> 2) ^ (pc >> 6) ^ folded ^ (table << 3)) \
             % self.table_entries
 
     def _tag(self, pc, table, history):
-        length = self.hist_lengths[table]
-        folded = _fold(history, length, self.tag_bits)
-        folded2 = _fold(history, length, self.tag_bits - 1) << 1
+        _, folded, folded2 = self._folds(table, history)
         return ((pc >> 2) ^ folded ^ folded2) & self.tag_mask
 
     def _find(self, pc, history):
@@ -100,16 +124,40 @@ class TagePredictor(BranchPredictor):
         return entry.ctr >= 4
 
     def _lookup(self, pc):
+        # Single-pass restructuring of _find + _table_pred: each table's
+        # (index, tag) pair is computed exactly once, and the provider /
+        # alt entries are kept instead of being re-looked-up. Produces
+        # the same (taken, meta) as the original composition.
         history = self.history
-        provider, alt = self._find(pc, history)
-        provider_pred = self._table_pred(pc, provider, history)
-        alt_pred = self._table_pred(pc, alt, history)
-        taken = provider_pred
-        weak = False
-        if provider >= 0:
-            entry = self.tables[provider][self._index(pc, provider, history)]
-            weak = entry.ctr in (3, 4) and entry.useful == 0
-            if weak and self.use_alt_on_na >= 8:
+        pc2 = pc >> 2
+        idx_base = pc2 ^ (pc >> 6)
+        tables = self.tables
+        num_entries = self.table_entries
+        tag_mask = self.tag_mask
+        provider = alt = -1
+        provider_entry = alt_entry = None
+        for table in range(self.num_tables - 1, -1, -1):
+            idx_fold, tag_fold, tag_fold2 = self._folds(table, history)
+            entry = tables[table][
+                (idx_base ^ idx_fold ^ (table << 3)) % num_entries]
+            if entry.tag == (pc2 ^ tag_fold ^ tag_fold2) & tag_mask:
+                if provider < 0:
+                    provider = table
+                    provider_entry = entry
+                else:
+                    alt = table
+                    alt_entry = entry
+                    break
+        if provider < 0:
+            taken = provider_pred = alt_pred = \
+                self.base[pc2 % self.base_entries] >= 2
+        else:
+            provider_pred = provider_entry.ctr >= 4
+            alt_pred = (alt_entry.ctr >= 4 if alt >= 0
+                        else self.base[pc2 % self.base_entries] >= 2)
+            taken = provider_pred
+            if provider_entry.useful == 0 and provider_entry.ctr in (3, 4) \
+                    and self.use_alt_on_na >= 8:
                 taken = alt_pred
         return taken, (provider, alt, provider_pred, alt_pred)
 

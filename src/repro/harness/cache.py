@@ -27,12 +27,22 @@ _FINGERPRINT = None
 
 def code_fingerprint():
     """Hash of every ``.py`` file in the repro package (cached per
-    process)."""
+    process).
+
+    The predecode schema version and the ``REPRO_SLOWPATH`` escape hatch
+    are folded in as well: results simulated via the interpretive paths
+    must never be served to (or poison the cache of) predecoded runs,
+    even though the source files are identical. The slowpath marker is
+    applied per *call* (not baked into the cached digest) because tests
+    toggle the environment variable mid-process.
+    """
     global _FINGERPRINT
     if _FINGERPRINT is None:
         import repro
+        from repro.isa.predecode import PREDECODE_VERSION
         base = os.path.dirname(os.path.abspath(repro.__file__))
         digest = hashlib.sha256()
+        digest.update(("predecode-v%d" % PREDECODE_VERSION).encode("utf-8"))
         for dirpath, dirnames, filenames in sorted(os.walk(base)):
             dirnames.sort()
             for filename in sorted(filenames):
@@ -43,6 +53,9 @@ def code_fingerprint():
                 with open(path, "rb") as handle:
                     digest.update(handle.read())
         _FINGERPRINT = digest.hexdigest()[:16]
+    from repro.isa.predecode import slowpath_enabled
+    if slowpath_enabled():
+        return _FINGERPRINT + "-slow"
     return _FINGERPRINT
 
 

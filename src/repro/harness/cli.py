@@ -8,6 +8,8 @@ Reproduce single points (or small sweeps) without pytest::
     python -m repro.harness trace --workload bfs --kind mssr --out bfs.jsonl
     python -m repro.harness profile --workload bfs --interval 2000
     python -m repro.harness simpoints --workload bfs --interval 2000
+    python -m repro.harness perf --out BENCH_PIPELINE.json
+    python -m repro.harness perf --quick --check BENCH_PIPELINE.json
     python -m repro.harness list
     python -m repro.harness cache --clear
     python -m repro.harness cache prune --max-age-days 30
@@ -80,6 +82,27 @@ def _build_parser():
     trace.add_argument("--lockstep", action="store_true",
                        help="check every commit against the golden-model "
                             "emulator and report the first divergence")
+
+    perf = sub.add_parser(
+        "perf", help="measure simulator throughput on the pinned "
+                     "benchmark matrix")
+    perf.add_argument("--out", default="BENCH_PIPELINE.json",
+                      help="report path (default: BENCH_PIPELINE.json)")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="timing repeats per point, best-of "
+                           "(default: 3)")
+    perf.add_argument("--quick", action="store_true",
+                      help="measure only the small CI smoke subset")
+    perf.add_argument("--check", default=None, metavar="BASELINE",
+                      help="also gate the fresh numbers against this "
+                           "baseline report; non-zero exit on "
+                           "regression")
+    perf.add_argument("--threshold", type=float, default=0.15,
+                      help="allowed normalised-throughput drop for "
+                           "--check (default: 0.15)")
+    perf.add_argument("--profile-out", default=None, metavar="DIR",
+                      help="also cProfile each point into "
+                           "DIR/<point>.pstats")
 
     lst = sub.add_parser("list", help="list registered workloads")
     lst.add_argument("--suite", help="restrict to one suite")
@@ -331,6 +354,49 @@ def _cmd_simpoints(args, out):
     return 0
 
 
+def _cmd_perf(args, out):
+    from repro.perf.bench import (DEFAULT_MATRIX, QUICK_NAMES,
+                                  build_report, calibration_kops,
+                                  compare_reports, load_report,
+                                  profile_point, run_bench,
+                                  select_points, write_report)
+
+    points = select_points(QUICK_NAMES) if args.quick else DEFAULT_MATRIX
+    out.write("calibrating...\n")
+    calibration = calibration_kops()
+    out.write("calibration: %.1f kops/s\n" % calibration)
+    results = run_bench(points, repeats=args.repeats,
+                        log=lambda line: out.write(line + "\n"))
+    report = build_report(results, calibration=calibration)
+    write_report(report, args.out)
+    out.write("report : %s (commit %s)\n" % (args.out, report["commit"]))
+
+    if args.profile_out:
+        import os
+        os.makedirs(args.profile_out, exist_ok=True)
+        for point in points:
+            path = os.path.join(args.profile_out,
+                                "%s.pstats" % point.name)
+            profile_point(point, path)
+            out.write("profile: %s\n" % path)
+
+    if args.check:
+        try:
+            baseline = load_report(args.check)
+        except (OSError, ValueError) as exc:
+            _log.error("cannot load baseline %s: %s", args.check, exc)
+            return 2
+        failures = compare_reports(report, baseline,
+                                   threshold=args.threshold)
+        if failures:
+            for failure in failures:
+                _log.error("perf regression: %s", failure)
+            return 1
+        out.write("gate   : OK (no point below %.0f%% of baseline)\n"
+                  % ((1.0 - args.threshold) * 100.0))
+    return 0
+
+
 def _cmd_list(args, out):
     from repro.workloads.registry import SUITES, get_workload, \
         suite_names, workload_names
@@ -390,6 +456,8 @@ def main(argv=None, out=None):
         return _cmd_profile(args, out)
     if args.command == "simpoints":
         return _cmd_simpoints(args, out)
+    if args.command == "perf":
+        return _cmd_perf(args, out)
     if args.command == "list":
         return _cmd_list(args, out)
     return _cmd_cache(args, out)

@@ -98,12 +98,20 @@ class SimJob:
         return SamplingSpec.from_any(self.sampling)
 
     def spec(self):
-        """Canonical JSON-able description (hash input)."""
+        """Canonical JSON-able description (hash input).
+
+        Includes the predecode schema version: bumping
+        ``PREDECODE_VERSION`` changes every job hash, so results
+        simulated before a semantics-affecting predecode change are
+        never silently reused.
+        """
+        from repro.isa.predecode import PREDECODE_VERSION
         out = {
             "workload": self.workload,
             "kind": self.kind,
             "scale": self.scale,
             "params": [[k, v] for k, v in self.params],
+            "predecode": PREDECODE_VERSION,
         }
         if self.sampling is not None:
             out["sampling"] = [[k, v] for k, v in self.sampling]

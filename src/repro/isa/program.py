@@ -77,6 +77,7 @@ class Program:
         self.data = data if data is not None else DataSegment()
         self.entry = entry if entry is not None else code_base
         self._check_pcs()
+        self._predecoded = None
 
     def _check_pcs(self):
         pc = self.code_base
@@ -103,6 +104,16 @@ class Program:
         if not self.has_pc(pc):
             raise KeyError("no instruction at pc %#x" % pc)
         return self.instructions[(pc - self.code_base) // INST_BYTES]
+
+    def predecode(self):
+        """The program's :class:`~repro.isa.predecode.PredecodedProgram`
+        (flattened hot-path view; built once and cached, so every
+        emulator / core instance over this program shares it)."""
+        pd = self._predecoded
+        if pd is None:
+            from repro.isa.predecode import predecode_program
+            pd = self._predecoded = predecode_program(self)
+        return pd
 
     def label_pc(self, name):
         return self.labels[name]

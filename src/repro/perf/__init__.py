@@ -1,0 +1,40 @@
+"""Performance benchmark layer: pinned throughput matrix + regression gate.
+
+See :mod:`repro.perf.bench` for the measurement machinery and
+``benchmarks/test_perf_gate.py`` for the gate that compares a fresh
+measurement against the checked-in ``BENCH_PIPELINE.json`` baseline.
+"""
+
+from repro.perf.bench import (
+    BenchPoint,
+    DEFAULT_MATRIX,
+    QUICK_NAMES,
+    REPORT_VERSION,
+    build_report,
+    calibration_kops,
+    compare_reports,
+    load_report,
+    matrix_from_report,
+    profile_point,
+    run_bench,
+    run_point,
+    select_points,
+    write_report,
+)
+
+__all__ = [
+    "BenchPoint",
+    "DEFAULT_MATRIX",
+    "QUICK_NAMES",
+    "REPORT_VERSION",
+    "build_report",
+    "calibration_kops",
+    "compare_reports",
+    "load_report",
+    "matrix_from_report",
+    "profile_point",
+    "run_bench",
+    "run_point",
+    "select_points",
+    "write_report",
+]

@@ -23,6 +23,9 @@ from repro.frontend.ras import ReturnAddressStack
 from repro.frontend.tage_scl import TageSCL
 from repro.isa.instruction import INST_BYTES
 from repro.isa.opcodes import Op, OpClass
+from repro.isa.predecode import (KIND_ALU, KIND_BRANCH, KIND_DIV,
+                                 KIND_LOAD, KIND_NOP, KIND_STORE,
+                                 slowpath_enabled)
 from repro.isa.program import STACK_TOP
 from repro.isa.registers import NUM_ARCH_REGS, reg_num
 from repro.emu.memory import SparseMemory
@@ -34,7 +37,7 @@ from repro.pipeline.lsq import LoadStoreQueue
 from repro.pipeline.regfile import PhysRegFile
 from repro.pipeline.rename import RenameTable
 from repro.pipeline.scheduler import IssueQueue, FunctionUnits
-from repro.utils.bits import MASK64, wrap64, to_unsigned
+from repro.utils.bits import MASK64, sext32, wrap64, to_unsigned
 
 _log = get_logger("pipeline.core")
 
@@ -159,6 +162,23 @@ class O3Core:
         self._commit_limit = None    # committed-inst budget (run(max_insts=))
         self._budget_stop = False    # halted by the budget, not `halt`
 
+        # Hot-path constants hoisted out of the per-cycle stages.
+        self._iqs = (self.int_iq, self.mem_iq)
+        self._width = cfg.width
+        self._rob_entries = cfg.rob_entries
+        self._frontend_stages = cfg.frontend_stages
+        # Execute latency indexed by PDInst.kind (branch/load handlers
+        # compute their own).
+        self._kind_latency = (
+            cfg.alu_latency, cfg.mul_latency, cfg.div_latency,
+            cfg.branch_latency, 0, cfg.store_latency,
+            cfg.alu_latency, cfg.alu_latency)
+        self._slow = slowpath_enabled()
+        if self._slow:
+            # Differential-testing escape hatch: dispatch execute through
+            # the original interpretive path.
+            self._execute_inst = self._execute_inst_slow
+
         if init_state is not None:
             self._inject_state(init_state)
 
@@ -260,18 +280,19 @@ class O3Core:
     # Commit
     # ------------------------------------------------------------------
     def _commit_stage(self):
-        for _ in range(self.config.width):
-            if not self.rob:
+        rob = self.rob
+        for _ in range(self._width):
+            if not rob:
                 return
-            head = self.rob[0]
+            head = rob[0]
             if not head.completed or (head.verify_load and not head.executed):
                 return
-            self.rob.popleft()
+            rob.popleft()
             head.committed = True
             self._commit_inst(head)
             self.obs.commit(head)
             self._last_commit_cycle = self.cycle
-            if head.inst.is_halt:
+            if head.pd.is_halt:
                 self.halted = True
                 return
             if self._commit_limit is not None \
@@ -284,10 +305,9 @@ class O3Core:
                 return
 
     def _commit_inst(self, head):
-        inst = head.inst
-        if inst.is_store:
+        if head.is_store:
             self.lsq.commit_store(head)
-        elif inst.is_load:
+        elif head.is_load:
             self.lsq.commit_load(head)
 
         if head.dest_preg is not None:
@@ -295,7 +315,7 @@ class O3Core:
             if head.old_preg is not None:
                 self.free_preg(head.old_preg)
 
-        if inst.is_branch:
+        if head.is_branch:
             self._train_branch(head)
 
         if head.block_id - 1 > self._last_retired_block:
@@ -305,15 +325,15 @@ class O3Core:
         self.scheme.on_commit(head)
 
     def _train_branch(self, head):
-        inst = head.inst
-        taken = head.actual_npc != inst.pc + INST_BYTES
-        if inst.is_cond_branch:
+        pd = head.pd
+        taken = head.actual_npc != pd.next_pc
+        if pd.is_cond_branch:
             self.obs.cond_branch(head.mispredicted)
             if head.bp_meta is not None:
-                self.predictor.update(inst.pc, taken, head.bp_meta)
-        elif inst.is_indirect:
+                self.predictor.update(pd.pc, taken, head.bp_meta)
+        elif pd.is_indirect:
             self.obs.indirect_branch(head.mispredicted)
-            self.btb.install(inst.pc, head.actual_npc)
+            self.btb.install(pd.pc, head.actual_npc)
 
     def free_preg(self, preg):
         """Release a physical register and notify the reuse scheme."""
@@ -337,7 +357,6 @@ class O3Core:
             self._writeback_inst(dyn)
 
     def _writeback_inst(self, dyn):
-        inst = dyn.inst
         dyn.executed = True
         if self.obs.enabled:
             self.obs.emit_writeback(dyn)
@@ -358,9 +377,9 @@ class O3Core:
             self.int_iq.wakeup(dyn.dest_preg)
             self.mem_iq.wakeup(dyn.dest_preg)
 
-        if inst.is_branch:
+        if dyn.is_branch:
             self._resolve_branch(dyn)
-        elif inst.is_store:
+        elif dyn.is_store:
             self.scheme.on_store_executed(dyn.mem_addr, dyn.mem_size)
             violators = self.lsq.find_violations(dyn)
             if violators:
@@ -385,12 +404,90 @@ class O3Core:
     # Execute
     # ------------------------------------------------------------------
     def _execute_stage(self):
-        for iq in (self.int_iq, self.mem_iq):
-            issued = iq.take_ready(self.config.width, self.fus.try_take)
-            for dyn in issued:
-                self._execute_inst(dyn)
+        width = self._width
+        try_take = self.fus.try_take
+        execute = self._execute_inst
+        for iq in self._iqs:
+            for dyn in iq.take_ready(width, try_take):
+                execute(dyn)
 
     def _execute_inst(self, dyn):
+        pd = dyn.pd
+        dyn.issued = True
+        dyn.issue_cycle = self.cycle
+        if self.obs.enabled:
+            self.obs.emit_issue(dyn)
+        values = self.regfile.values
+        sp = dyn.srcs_preg
+        kind = pd.kind
+
+        if kind <= KIND_DIV:           # alu / mul / div
+            latency = self._kind_latency[kind]
+            if pd.has_imm:
+                dyn.result = pd.alu_fn(values[sp[0]], pd.imm_u) \
+                    if pd.num_srcs else pd.imm_u
+            else:
+                dyn.result = pd.alu_fn(values[sp[0]], values[sp[1]])
+        elif kind == KIND_BRANCH:
+            latency = self._execute_branch(dyn, values, sp)
+        elif kind == KIND_LOAD:
+            latency = self._execute_load(dyn, values, sp)
+        elif kind == KIND_STORE:
+            addr = wrap64(values[sp[1]] + pd.imm)
+            dyn.mem_addr = addr
+            dyn.mem_size = pd.mem_size
+            dyn.store_data = values[sp[0]] & pd.store_mask
+            latency = self._kind_latency[KIND_STORE] \
+                + self.hierarchy.access(addr, is_write=True)
+        else:                          # nop / halt (never issued; parity)
+            latency = self._kind_latency[kind]
+        events = self._events
+        when = self.cycle + latency
+        pending = events.get(when)
+        if pending is None:
+            events[when] = [dyn]
+        else:
+            pending.append(dyn)
+
+    def _execute_branch(self, dyn, values, sp):
+        pd = dyn.pd
+        fallthrough = pd.next_pc
+        op = pd.op
+        if op is Op.JAL:
+            dyn.actual_npc = pd.target
+            dyn.result = fallthrough
+        elif op is Op.JALR:
+            dyn.actual_npc = wrap64(values[sp[0]] + pd.imm) & ~1
+            dyn.result = fallthrough
+        else:
+            taken = pd.branch_fn(values[sp[0]], values[sp[1]])
+            dyn.actual_npc = pd.target if taken else fallthrough
+        return self._kind_latency[KIND_BRANCH]
+
+    def _execute_load(self, dyn, values, sp):
+        pd = dyn.pd
+        if dyn.verify_load:
+            addr = dyn.mem_addr  # logged by the reuse scheme
+        else:
+            addr = wrap64(values[sp[0]] + pd.imm)
+            dyn.mem_addr = addr
+            dyn.mem_size = pd.mem_size
+        value, forwarded = self.lsq.speculative_read(addr, pd.mem_size,
+                                                     dyn.seq)
+        if pd.is_lw:
+            value = sext32(value)
+        if dyn.verify_load:
+            # Stash the re-read value for comparison at writeback.
+            dyn.store_data = value
+        else:
+            dyn.result = value
+        if forwarded:
+            return self.config.l1_latency
+        return 1 + self.hierarchy.access(addr)
+
+    # Original interpretive execute (REPRO_SLOWPATH=1): kept verbatim as
+    # the differential-testing reference for the predecoded fast path.
+    def _execute_inst_slow(self, dyn):
         inst = dyn.inst
         info = inst.info
         dyn.issued = True
@@ -403,9 +500,9 @@ class O3Core:
         op_class = info.op_class
 
         if op_class is OpClass.BRANCH:
-            latency = self._execute_branch(dyn, srcs)
+            latency = self._execute_branch_slow(dyn, srcs)
         elif op_class is OpClass.LOAD:
-            latency = self._execute_load(dyn, srcs)
+            latency = self._execute_load_slow(dyn, srcs)
         elif op_class is OpClass.STORE:
             addr = wrap64(srcs[1] + inst.imm)
             dyn.mem_addr = addr
@@ -421,7 +518,7 @@ class O3Core:
                 dyn.result = info.alu_fn(srcs[0], srcs[1])
         self._events.setdefault(self.cycle + latency, []).append(dyn)
 
-    def _execute_branch(self, dyn, srcs):
+    def _execute_branch_slow(self, dyn, srcs):
         inst = dyn.inst
         fallthrough = inst.pc + INST_BYTES
         if inst.op is Op.JAL:
@@ -435,7 +532,7 @@ class O3Core:
             dyn.actual_npc = inst.imm if taken else fallthrough
         return self.config.branch_latency
 
-    def _execute_load(self, dyn, srcs):
+    def _execute_load_slow(self, dyn, srcs):
         inst = dyn.inst
         info = inst.info
         if dyn.verify_load:
@@ -461,35 +558,41 @@ class O3Core:
     # Rename / dispatch
     # ------------------------------------------------------------------
     def _rename_stage(self):
-        cfg = self.config
+        dq = self.decode_queue
+        if not dq:
+            return
+        width = self._width
+        frontier = self.cycle - self._frontend_stages
         renamed = 0
-        while renamed < cfg.width and self.decode_queue:
-            dyn = self.decode_queue[0]
-            if dyn.fetch_cycle + cfg.frontend_stages > self.cycle:
+        while renamed < width and dq:
+            dyn = dq[0]
+            if dyn.fetch_cycle > frontier:
                 break
             if not self._has_dispatch_resources(dyn):
                 break
-            self.decode_queue.popleft()
+            dq.popleft()
             self._rename_inst(dyn)
             self._dispatch_inst(dyn)
             renamed += 1
 
     def _has_dispatch_resources(self, dyn):
-        if len(self.rob) >= self.config.rob_entries:
+        if len(self.rob) >= self._rob_entries:
             return False
-        inst = dyn.inst
-        op_class = inst.info.op_class
-        if op_class in (OpClass.LOAD, OpClass.STORE):
-            if not self.mem_iq.has_space:
+        pd = dyn.pd
+        kind = pd.kind
+        if kind == KIND_LOAD:
+            iq = self.mem_iq
+            if iq.size >= iq.capacity or self.lsq.lq_free == 0:
                 return False
-            if inst.is_load and self.lsq.lq_free == 0:
+        elif kind == KIND_STORE:
+            iq = self.mem_iq
+            if iq.size >= iq.capacity or self.lsq.sq_free == 0:
                 return False
-            if inst.is_store and self.lsq.sq_free == 0:
+        elif kind < KIND_NOP:
+            iq = self.int_iq
+            if iq.size >= iq.capacity:
                 return False
-        elif op_class not in (OpClass.NOP, OpClass.HALT):
-            if not self.int_iq.has_space:
-                return False
-        if inst.writes_reg and self.regfile.num_free == 0:
+        if pd.writes_reg and self.regfile.num_free == 0:
             # Condition (5): reclaim squash-log registers under pressure.
             if not self.scheme.emergency_release():
                 return False
@@ -498,19 +601,33 @@ class O3Core:
         return True
 
     def _rename_inst(self, dyn):
-        inst = dyn.inst
+        pd = dyn.pd
         rat = self.rat
-        dyn.srcs_preg = tuple(rat.lookup(s) for s in inst.srcs)
+        num_srcs = pd.num_srcs
+        rmap = rat.map
+        if num_srcs == 0:
+            dyn.srcs_preg = ()
+        elif num_srcs == 1:
+            dyn.srcs_preg = (rmap[pd.src0],)
+        else:
+            dyn.srcs_preg = (rmap[pd.src0], rmap[pd.src1])
         if rat.track_rgids:
-            dyn.src_rgids = tuple(rat.lookup_rgid(s) for s in inst.srcs)
+            rgid = rat.rgid
+            if num_srcs == 0:
+                dyn.src_rgids = ()
+            elif num_srcs == 1:
+                dyn.src_rgids = (rgid[pd.src0],)
+            else:
+                dyn.src_rgids = (rgid[pd.src0], rgid[pd.src1])
 
+        writes_reg = pd.writes_reg
         reused = False
-        if inst.writes_reg and not inst.is_branch and not inst.is_store:
+        if writes_reg and not pd.is_branch and not pd.is_store:
             result = self.scheme.try_reuse(dyn)
             if result is not None:
                 self._apply_reuse(dyn, result)
                 reused = True
-        if not reused and inst.writes_reg:
+        if not reused and writes_reg:
             if not rat.rename_dest(dyn):
                 raise AssertionError("rename without a free preg")
         dyn.renamed = True
@@ -534,29 +651,41 @@ class O3Core:
         dyn.completed = True
         dyn.reuse_scheme_tag = result.tag
         self.obs.reuse_applied(dyn)
-        if dyn.inst.is_load and result.verify_addr is not None:
+        if dyn.is_load and result.verify_addr is not None:
             dyn.verify_load = True
             dyn.mem_addr = result.verify_addr
-            dyn.mem_size = dyn.inst.info.mem_size
+            dyn.mem_size = dyn.pd.mem_size
 
     def _dispatch_inst(self, dyn):
         self.rob.append(dyn)
-        inst = dyn.inst
-        op_class = inst.info.op_class
-        if op_class in (OpClass.NOP, OpClass.HALT):
+        kind = dyn.pd.kind
+        if kind >= KIND_NOP:           # nop / halt
             dyn.completed = True
             dyn.executed = True
             return
         if dyn.reused and not dyn.verify_load:
             dyn.executed = True
             return
-        if inst.is_load or inst.is_store:
+        if kind == KIND_LOAD or kind == KIND_STORE:
             self.lsq.allocate(dyn)
             iq = self.mem_iq
         else:
             iq = self.int_iq
-        not_ready = [p for p in set(dyn.srcs_preg)
-                     if not self.regfile.ready[p]]
+        # Unrolled "unready deduped sources" (the set()+listcomp here was
+        # a top allocation site; instructions have at most two sources).
+        sp = dyn.srcs_preg
+        ready = self.regfile.ready
+        if not sp:
+            not_ready = ()
+        elif len(sp) == 1 or sp[0] == sp[1]:
+            p0 = sp[0]
+            not_ready = () if ready[p0] else (p0,)
+        else:
+            p0, p1 = sp
+            if ready[p0]:
+                not_ready = () if ready[p1] else (p1,)
+            else:
+                not_ready = (p0,) if ready[p1] else (p0, p1)
         iq.insert(dyn, not_ready)
 
     # ------------------------------------------------------------------

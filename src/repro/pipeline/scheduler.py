@@ -7,7 +7,13 @@ and dependents' wait counts drop; zero-wait instructions enter the ready
 pool and issue oldest-first subject to per-class port limits.
 """
 
+from operator import attrgetter
+
 from repro.isa.opcodes import OpClass
+from repro.isa.predecode import (KIND_ALU, KIND_BRANCH, KIND_LOAD,
+                                 KIND_MUL, KIND_NOP, KIND_STORE)
+
+_SEQ_KEY = attrgetter("seq")
 
 
 class IssueQueue:
@@ -51,15 +57,26 @@ class IssueQueue:
     def take_ready(self, limit, accept):
         """Pop up to ``limit`` ready instructions (oldest first) for which
         ``accept(dyn)`` grants an FU port."""
-        if not self._ready:
+        ready = self._ready
+        if not ready:
             return []
-        self._ready = [d for d in self._ready if not d.squashed]
-        self._ready.sort(key=lambda d: d.seq)
+        # Squashed entries only exist in the cycles right after a squash;
+        # scan before paying for the filtering list allocation.
+        for dyn in ready:
+            if dyn.squashed:
+                ready = [d for d in ready if not d.squashed]
+                if not ready:
+                    self._ready = ready
+                    return []
+                break
+        ready.sort(key=_SEQ_KEY)
         issued = []
         remaining = []
-        for dyn in self._ready:
-            if len(issued) < limit and accept(dyn):
+        take = limit
+        for dyn in ready:
+            if take and accept(dyn):
                 issued.append(dyn)
+                take -= 1
                 self.size -= 1
             else:
                 remaining.append(dyn)
@@ -103,6 +120,12 @@ class FunctionUnits:
         self._bru_used = 0
         self._lsu_used = 0
         self._cycle = -1
+        # Port limits as plain attributes (try_take is called for every
+        # ready instruction every cycle).
+        self._num_alu = config.num_alu
+        self._num_bru = config.num_bru
+        self._num_lsu = config.num_lsu
+        self._div_latency = config.div_latency
 
     def new_cycle(self, cycle):
         self._cycle = cycle
@@ -112,31 +135,29 @@ class FunctionUnits:
 
     def try_take(self, dyn):
         """Claim a port for ``dyn``; returns False when saturated."""
-        op_class = dyn.inst.info.op_class
-        cfg = self.config
-        if op_class in (OpClass.ALU, OpClass.MUL, OpClass.NOP, OpClass.HALT):
-            if self._alu_used < cfg.num_alu:
+        kind = dyn.pd.kind
+        if kind == KIND_ALU or kind == KIND_MUL or kind >= KIND_NOP:
+            if self._alu_used < self._num_alu:
                 self._alu_used += 1
                 return True
             return False
-        if op_class is OpClass.DIV:
-            if self._alu_used < cfg.num_alu and \
-                    self.div_busy_until <= self._cycle:
-                self._alu_used += 1
-                self.div_busy_until = self._cycle + cfg.div_latency
-                return True
-            return False
-        if op_class is OpClass.BRANCH:
-            if self._bru_used < cfg.num_bru:
-                self._bru_used += 1
-                return True
-            return False
-        if op_class in (OpClass.LOAD, OpClass.STORE):
-            if self._lsu_used < cfg.num_lsu:
+        if kind == KIND_LOAD or kind == KIND_STORE:
+            if self._lsu_used < self._num_lsu:
                 self._lsu_used += 1
                 return True
             return False
-        raise AssertionError("unknown op class %r" % op_class)
+        if kind == KIND_BRANCH:
+            if self._bru_used < self._num_bru:
+                self._bru_used += 1
+                return True
+            return False
+        # KIND_DIV: unpipelined divider sharing the ALU ports.
+        if self._alu_used < self._num_alu and \
+                self.div_busy_until <= self._cycle:
+            self._alu_used += 1
+            self.div_busy_until = self._cycle + self._div_latency
+            return True
+        return False
 
     def latency_of(self, dyn):
         op_class = dyn.inst.info.op_class

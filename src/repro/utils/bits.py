@@ -28,6 +28,14 @@ def to_unsigned(value):
     return value & MASK64
 
 
+def sext32(value):
+    """Sign-extend the low 32 bits of ``value`` to unsigned 64-bit."""
+    value &= 0xFFFFFFFF
+    if value & 0x80000000:
+        value |= ~0xFFFFFFFF & MASK64
+    return value
+
+
 def sll64(value, shamt):
     """Logical left shift; shift amount uses the low 6 bits (RISC-V SLL)."""
     return (value << (shamt & 63)) & MASK64

@@ -78,3 +78,75 @@ def test_read_word_array():
     for i in range(4):
         mem.write(0x40 + 8 * i, i + 1, 8)
     assert mem.read_word_array(0x40, 4) == [1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# Last-word cache: the fast path for sequential access must never serve
+# a stale value, and cached state must never leak across copies.
+# ---------------------------------------------------------------------------
+def test_cache_sequential_subword_reads():
+    mem = SparseMemory()
+    mem.write(0x1000, 0x1122334455667788, 8)
+    # All of these hit the cached word; each slice must be correct.
+    assert mem.read(0x1000, 8) == 0x1122334455667788
+    assert mem.read(0x1000, 4) == 0x55667788
+    assert mem.read(0x1004, 4) == 0x11223344
+    for i, byte in enumerate([0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22,
+                              0x11]):
+        assert mem.read(0x1000 + i, 1) == byte
+
+
+def test_cache_cross_page_alternation():
+    """Ping-ponging between far-apart words (different pages) must
+    refill the cache each time, never cross-serve values."""
+    mem = SparseMemory()
+    a, b = 0x1000, 0x1000 + 64 * 1024  # 64 KiB apart
+    mem.write(a, 0xAAAA, 8)
+    mem.write(b, 0xBBBB, 8)
+    for _ in range(3):
+        assert mem.read(a, 8) == 0xAAAA
+        assert mem.read(b, 8) == 0xBBBB
+        assert mem.read(a + 8, 8) == 0      # uncached, untouched word
+        assert mem.read(b, 4) == 0xBBBB
+
+
+def test_cache_coherent_after_partial_writes():
+    """Sub-word writes read-modify-write through the cache; a read of
+    the same word right after must see the merged value."""
+    mem = SparseMemory()
+    mem.write(0x2000, 0xFFFFFFFFFFFFFFFF, 8)
+    mem.write(0x2000, 0, 1)                  # clear lowest byte
+    assert mem.read(0x2000, 8) == 0xFFFFFFFFFFFFFF00
+    mem.write(0x2004, 0x12345678, 4)         # clear upper half
+    assert mem.read(0x2000, 8) == 0x12345678FFFFFF00
+    assert mem.read(0x2004, 4) == 0x12345678
+
+
+def test_cache_does_not_leak_across_copies():
+    mem = SparseMemory()
+    mem.write(0x3000, 111, 8)
+    assert mem.read(0x3000, 8) == 111        # warm mem's cache
+    clone = mem.copy()
+    clone.write(0x3000, 222, 8)              # warm clone's cache
+    assert mem.read(0x3000, 8) == 111
+    assert clone.read(0x3000, 8) == 222
+    mem.write(0x3000, 333, 8)
+    assert clone.read(0x3000, 8) == 222
+
+
+def test_checkpoint_mem_delta_round_trip():
+    """nonzero_words -> image constructor round-trips with warm caches
+    on both sides (the checkpoint/restore path in the harness)."""
+    mem = SparseMemory()
+    for i in range(8):
+        mem.write(0x4000 + 8 * i, (i * 0x1111) & 0xFFFF, 8)
+    mem.write(0x4000, 0, 8)                  # zeroed word drops out
+    assert mem.read(0x4000 + 8, 8) == 0x1111  # warm the cache
+    delta = mem.nonzero_words()
+    assert 0x4000 not in delta
+    restored = SparseMemory(dict(delta))
+    assert restored == mem
+    assert restored.read(0x4000 + 8, 8) == 0x1111
+    # Diverge after restore: equality must break both ways.
+    restored.write(0x4000, 5, 8)
+    assert restored != mem

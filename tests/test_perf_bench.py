@@ -1,0 +1,117 @@
+"""Unit tests for the perf benchmark layer (logic, not throughput).
+
+Wall-clock gating lives in ``benchmarks/test_perf_gate.py``; these tests
+cover the pure machinery — point specs, report round-trips, the
+normalised comparison — plus one tiny real measurement as a smoke test.
+"""
+
+import pytest
+
+from repro.perf.bench import (BenchPoint, DEFAULT_MATRIX, QUICK_NAMES,
+                              REPORT_VERSION, build_report,
+                              compare_reports, load_report,
+                              matrix_from_report, point_metric, run_bench,
+                              select_points, write_report)
+
+
+def test_bench_point_spec_round_trip():
+    for point in DEFAULT_MATRIX:
+        clone = BenchPoint.from_spec(point.spec())
+        assert clone.spec() == point.spec()
+
+
+def test_bench_point_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        BenchPoint("bad", "gpu", "nested-mispred")
+
+
+def test_select_points_preserves_order_and_raises_on_unknown():
+    points = select_points(QUICK_NAMES)
+    assert [p.name for p in points] == list(QUICK_NAMES)
+    with pytest.raises(KeyError):
+        select_points(("no-such-point",))
+
+
+def _fake_report(calibration=1000.0, scale=1.0):
+    points = []
+    for point in DEFAULT_MATRIX:
+        result = {"point": point.spec(), "seconds": 1.0,
+                  "cycles": 5000, "insts": 4000,
+                  "kinsts_per_s": 40.0 * scale}
+        if point.mode == "core":
+            result["kcycles_per_s"] = 50.0 * scale
+        points.append(result)
+    return {"version": REPORT_VERSION, "commit": "deadbeef",
+            "python": "3.12.0", "calibration_kops": calibration,
+            "points": points}
+
+
+def test_point_metric_selects_cycles_for_core():
+    report = _fake_report()
+    for result in report["points"]:
+        if result["point"]["mode"] == "core":
+            assert point_metric(result) == result["kcycles_per_s"]
+        else:
+            assert point_metric(result) == result["kinsts_per_s"]
+
+
+def test_compare_reports_pass_and_fail():
+    base = _fake_report()
+    assert compare_reports(_fake_report(scale=1.0), base) == []
+    assert compare_reports(_fake_report(scale=0.9), base,
+                           threshold=0.15) == []
+    failures = compare_reports(_fake_report(scale=0.5), base,
+                               threshold=0.15)
+    assert len(failures) == len(DEFAULT_MATRIX)
+    assert all("normalised throughput" in f for f in failures)
+
+
+def test_compare_reports_normalises_by_calibration():
+    base = _fake_report(calibration=1000.0)
+    # Half-speed machine: both metric and calibration halve -> pass.
+    assert compare_reports(_fake_report(calibration=500.0, scale=0.5),
+                           base) == []
+    # Same raw metrics but a 2x faster machine -> normalised regression.
+    failures = compare_reports(_fake_report(calibration=2000.0), base)
+    assert len(failures) == len(DEFAULT_MATRIX)
+
+
+def test_compare_reports_ignores_missing_and_bad_calibration():
+    base = _fake_report()
+    current = _fake_report(scale=0.1)
+    current["points"] = current["points"][:1]  # only one point measured
+    assert len(compare_reports(current, base, threshold=0.15)) == 1
+    broken = _fake_report(calibration=0.0)
+    failures = compare_reports(broken, base)
+    assert failures and "calibration" in failures[0]
+
+
+def test_report_round_trip(tmp_path):
+    report = _fake_report()
+    path = tmp_path / "bench.json"
+    write_report(report, str(path))
+    assert load_report(str(path)) == report
+
+
+def test_load_report_rejects_malformed(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text('{"version": 1}')
+    with pytest.raises(ValueError, match="missing"):
+        load_report(str(path))
+
+
+def test_run_bench_smoke_tiny_point():
+    """One real (tiny) measurement end-to-end through run_bench."""
+    point = BenchPoint("smoke", "emu", "nested-mispred", scale=0.02)
+    lines = []
+    results = run_bench((point,), repeats=1, log=lines.append)
+    assert len(results) == 1 and len(lines) == 1
+    result = results[0]
+    assert result["point"]["name"] == "smoke"
+    assert result["seconds"] > 0
+    assert result["insts"] > 0
+    assert result["kinsts_per_s"] > 0
+    assert "kcycles_per_s" not in result
+    report = build_report(results, calibration=1234.5)
+    assert report["calibration_kops"] == 1234.5
+    assert report["version"] == REPORT_VERSION
