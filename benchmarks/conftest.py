@@ -13,19 +13,18 @@ Environment knobs:
   makes benchmark reruns skip every simulation.
 """
 
-import os
-
 import pytest
 
+from repro.config import envreg
 from repro.harness.runner import default_jobs
 
 
 def _scale():
-    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+    return envreg.get("REPRO_BENCH_SCALE")
 
 
 def _full():
-    return os.environ.get("REPRO_FULL", "") == "1"
+    return envreg.get("REPRO_FULL")
 
 
 @pytest.fixture(scope="session")

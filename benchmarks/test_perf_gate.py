@@ -33,8 +33,8 @@ BASELINE_PATH = os.path.join(os.path.dirname(os.path.dirname(
 
 
 def _threshold():
-    raw = os.environ.get("REPRO_PERF_THRESHOLD", "").strip()
-    return float(raw) if raw else 0.15
+    from repro.config import envreg
+    return envreg.get("REPRO_PERF_THRESHOLD")
 
 
 @pytest.fixture(scope="module")
@@ -65,7 +65,8 @@ def test_throughput_gate(baseline):
     so a baseline regenerated with a different matrix stays gateable
     without editing this test.
     """
-    current_path = os.environ.get("REPRO_PERF_CURRENT", "").strip()
+    from repro.config import envreg
+    current_path = envreg.get("REPRO_PERF_CURRENT")
     if current_path:
         current = load_report(current_path)
     else:

@@ -62,6 +62,29 @@ def run_workload(name, kind="baseline", scale=0.15, jobs=None,
     return submit([job], n_jobs=jobs)[job]
 
 
+def run_sweep(source, jobs=None):
+    """Expand and run a declared scenario sweep.
+
+    ``source`` is a sweep file path (TOML/JSON), a parsed sweep dict or
+    a :class:`~repro.config.sweep.Sweep`. Returns
+    ``(plan, {entry: SimStats})`` where ``plan`` is the expanded
+    :class:`~repro.config.sweep.SweepPlan` and the dict has one row per
+    *declared* entry — deduplicated jobs share the same SimStats
+    object. The CLI equivalent is ``python -m repro.harness sweep``.
+    """
+    from repro.config.sweep import Sweep, load_sweep, sweep_from_dict
+    if isinstance(source, Sweep):
+        sweep = source
+    elif isinstance(source, dict):
+        sweep = sweep_from_dict(source)
+    else:
+        sweep = load_sweep(source)
+    plan = sweep.expand()
+    results = submit(plan.jobs,
+                     n_jobs=jobs if jobs is not None else sweep.jobs)
+    return plan, {entry: results[entry.job] for entry in plan.entries}
+
+
 def speedup(stats, base_stats):
     """Runtime improvement of ``stats`` over ``base_stats`` (cycles)."""
     return base_stats.cycles / stats.cycles - 1.0

@@ -1,0 +1,236 @@
+"""TOML loading that works on every supported interpreter.
+
+``tomllib`` only ships with Python >= 3.11 and the container policy
+forbids new dependencies, so this module prefers the stdlib parser and
+falls back to a small parser covering the TOML subset our config and
+sweep files actually use:
+
+* comments, blank lines
+* ``[table]`` and ``[[array-of-tables]]`` headers (dotted names ok)
+* ``key = value`` with bare, quoted or dotted keys
+* strings (single/double quoted), ints, floats, booleans
+* single-line arrays (nesting ok) and inline tables
+
+Anything outside the subset raises :class:`TomlError` with a line
+number — a config file that parses differently on 3.10 and 3.12 would
+be far worse than one that fails loudly.
+"""
+
+try:
+    import tomllib as _tomllib
+except ImportError:            # Python < 3.11
+    _tomllib = None
+
+
+class TomlError(ValueError):
+    """A config/sweep file failed to parse."""
+
+
+def loads(text):
+    """Parse TOML text into a dict (tomllib when available)."""
+    if _tomllib is not None:
+        try:
+            return _tomllib.loads(text)
+        except _tomllib.TOMLDecodeError as exc:
+            raise TomlError(str(exc)) from None
+    return _mini_loads(text)
+
+
+def load_file(path):
+    """Parse a ``.toml`` (or ``.json``) file into a dict."""
+    import json
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if str(path).endswith(".json"):
+        try:
+            return json.loads(text)
+        except ValueError as exc:
+            raise TomlError("%s: %s" % (path, exc)) from None
+    try:
+        return loads(text)
+    except TomlError as exc:
+        raise TomlError("%s: %s" % (path, exc)) from None
+
+
+# ---------------------------------------------------------------------------
+# Fallback parser
+# ---------------------------------------------------------------------------
+def _mini_loads(text):
+    root = {}
+    current = root
+    for lineno, raw_line in enumerate(text.splitlines(), 1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise TomlError("line %d: malformed table array header"
+                                % lineno)
+            current = _enter(root, line[2:-2].strip(), lineno,
+                             array=True)
+        elif line.startswith("["):
+            if not line.endswith("]"):
+                raise TomlError("line %d: malformed table header"
+                                % lineno)
+            current = _enter(root, line[1:-1].strip(), lineno)
+        else:
+            key, _eq, value = line.partition("=")
+            if not _eq:
+                raise TomlError("line %d: expected key = value" % lineno)
+            target, leaf = _descend(current, key.strip(), lineno)
+            if leaf in target:
+                raise TomlError("line %d: duplicate key %r"
+                                % (lineno, leaf))
+            target[leaf] = _parse_value(value.strip(), lineno)
+    return root
+
+
+def _strip_comment(line):
+    out = []
+    quote = None
+    for ch in line:
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+        elif ch == "#":
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _split_name(name, lineno):
+    """Split a (possibly dotted, possibly quoted) key into parts."""
+    parts = []
+    buf = []
+    quote = None
+    for ch in name:
+        if quote:
+            if ch == quote:
+                quote = None
+            else:
+                buf.append(ch)
+        elif ch in "\"'":
+            quote = ch
+        elif ch == ".":
+            parts.append("".join(buf).strip())
+            buf = []
+        else:
+            buf.append(ch)
+    if quote:
+        raise TomlError("line %d: unterminated quoted key" % lineno)
+    parts.append("".join(buf).strip())
+    if any(not part for part in parts):
+        raise TomlError("line %d: empty key component in %r"
+                        % (lineno, name))
+    return parts
+
+
+def _descend(table, name, lineno):
+    """Walk dotted-key prefixes, creating tables; returns (table, leaf).
+
+    A prefix that names an array of tables descends into its most
+    recent element (``[scenario.grid]`` after ``[[scenario]]``).
+    """
+    parts = _split_name(name, lineno)
+    for part in parts[:-1]:
+        nxt = table.setdefault(part, {})
+        if isinstance(nxt, list):
+            if not nxt or not isinstance(nxt[-1], dict):
+                raise TomlError("line %d: %r is not a table"
+                                % (lineno, part))
+            nxt = nxt[-1]
+        elif not isinstance(nxt, dict):
+            raise TomlError("line %d: %r is not a table" % (lineno, part))
+        table = nxt
+    return table, parts[-1]
+
+
+def _enter(root, name, lineno, array=False):
+    table, leaf = _descend(root, name, lineno)
+    if array:
+        arr = table.setdefault(leaf, [])
+        if not isinstance(arr, list):
+            raise TomlError("line %d: %r is not a table array"
+                            % (lineno, leaf))
+        arr.append({})
+        return arr[-1]
+    nxt = table.setdefault(leaf, {})
+    if isinstance(nxt, list):       # [[x]] earlier, [x.y] now
+        raise TomlError("line %d: %r is a table array" % (lineno, leaf))
+    if not isinstance(nxt, dict):
+        raise TomlError("line %d: %r is not a table" % (lineno, leaf))
+    return nxt
+
+
+def _parse_value(token, lineno):
+    if not token:
+        raise TomlError("line %d: missing value" % lineno)
+    if token[0] in "\"'":
+        if len(token) < 2 or token[-1] != token[0]:
+            raise TomlError("line %d: unterminated string" % lineno)
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if token.startswith("["):
+        if not token.endswith("]"):
+            raise TomlError("line %d: arrays must be single-line"
+                            % lineno)
+        return [_parse_value(item, lineno)
+                for item in _split_items(token[1:-1], lineno)]
+    if token.startswith("{"):
+        if not token.endswith("}"):
+            raise TomlError("line %d: inline tables must be single-line"
+                            % lineno)
+        table = {}
+        for item in _split_items(token[1:-1], lineno):
+            key, _eq, value = item.partition("=")
+            if not _eq:
+                raise TomlError("line %d: malformed inline table"
+                                % lineno)
+            target, leaf = _descend(table, key.strip(), lineno)
+            target[leaf] = _parse_value(value.strip(), lineno)
+        return table
+    try:
+        if any(ch in token for ch in ".eE") and not token.startswith("0x"):
+            return float(token)
+        return int(token, 0)
+    except ValueError:
+        raise TomlError("line %d: cannot parse value %r"
+                        % (lineno, token)) from None
+
+
+def _split_items(body, lineno):
+    """Split an array/inline-table body on top-level commas."""
+    items = []
+    buf = []
+    depth = 0
+    quote = None
+    for ch in body:
+        if quote:
+            if ch == quote:
+                quote = None
+            buf.append(ch)
+        elif ch in "\"'":
+            quote = ch
+            buf.append(ch)
+        elif ch in "[{":
+            depth += 1
+            buf.append(ch)
+        elif ch in "]}":
+            depth -= 1
+            buf.append(ch)
+        elif ch == "," and depth == 0:
+            items.append("".join(buf).strip())
+            buf = []
+        else:
+            buf.append(ch)
+    if quote or depth:
+        raise TomlError("line %d: unbalanced array/table" % lineno)
+    tail = "".join(buf).strip()
+    if tail:
+        items.append(tail)
+    return items

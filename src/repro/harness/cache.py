@@ -20,7 +20,9 @@ import json
 import os
 import tempfile
 
-_DISABLE_VALUES = ("", "0", "off", "none", "disabled")
+from repro.config import envreg
+
+_DISABLE_VALUES = envreg.DISABLE_VALUES
 
 _FINGERPRINT = None
 
@@ -29,20 +31,27 @@ def code_fingerprint():
     """Hash of every ``.py`` file in the repro package (cached per
     process).
 
-    The predecode schema version and the ``REPRO_SLOWPATH`` escape hatch
-    are folded in as well: results simulated via the interpretive paths
-    must never be served to (or poison the cache of) predecoded runs,
-    even though the source files are identical. The slowpath marker is
-    applied per *call* (not baked into the cached digest) because tests
-    toggle the environment variable mid-process.
+    The predecode schema version, the configuration-schema version and
+    the ``REPRO_SLOWPATH`` escape hatch are folded in as well: results
+    simulated via the interpretive paths must never be served to (or
+    poison the cache of) predecoded runs, and entries hashed under an
+    older job-hashing scheme (pre configuration tree) must never be
+    misattributed — bumping ``CONFIG_SCHEMA_VERSION`` strands them
+    under a stale fingerprint, which ``harness cache`` reports as
+    orphaned. The slowpath marker is applied per *call* (not baked into
+    the cached digest) because tests toggle the environment variable
+    mid-process.
     """
     global _FINGERPRINT
     if _FINGERPRINT is None:
         import repro
+        from repro.config.schema import CONFIG_SCHEMA_VERSION
         from repro.isa.predecode import PREDECODE_VERSION
         base = os.path.dirname(os.path.abspath(repro.__file__))
         digest = hashlib.sha256()
         digest.update(("predecode-v%d" % PREDECODE_VERSION).encode("utf-8"))
+        digest.update(("config-v%d" % CONFIG_SCHEMA_VERSION)
+                      .encode("utf-8"))
         for dirpath, dirnames, filenames in sorted(os.walk(base)):
             dirnames.sort()
             for filename in sorted(filenames):
@@ -63,6 +72,31 @@ def default_cache_dir():
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
     return os.path.join(base, "repro-sim")
+
+
+def stale_fingerprints(directory, current):
+    """Fingerprint subdirectories of ``directory`` other than
+    ``current`` — entries under them were produced by older code or an
+    older hashing scheme and can never be served again. Returns
+    ``[(fingerprint, entries)]`` sorted by name."""
+    out = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return out
+    for name in names:
+        if name == current:
+            continue
+        sub = os.path.join(directory, name)
+        if not os.path.isdir(sub):
+            continue
+        try:
+            count = sum(1 for entry in os.listdir(sub)
+                        if entry.endswith(".json"))
+        except OSError:
+            continue
+        out.append((name, count))
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -150,10 +184,10 @@ class ResultCache:
     @classmethod
     def from_env(cls):
         """Cache configured by ``REPRO_CACHE_DIR`` (None if disabled)."""
-        raw = os.environ.get("REPRO_CACHE_DIR")
-        if raw is not None and raw.strip().lower() in _DISABLE_VALUES:
+        enabled, directory = envreg.store_dir("REPRO_CACHE_DIR")
+        if not enabled:
             return None
-        return cls(directory=raw or None)
+        return cls(directory=directory)
 
     # ------------------------------------------------------------------
     def _path(self, job):
@@ -173,7 +207,13 @@ class ResultCache:
         return stats
 
     def put(self, job, stats_dict):
-        """Persist a result; failures are silently ignored."""
+        """Persist a result; failures are silently ignored.
+
+        Every entry embeds the job's fully resolved configuration
+        snapshot (inside ``job.config``) plus its stable configuration
+        hash, so any row of any table is reproducible from the result
+        file alone.
+        """
         path = self._path(job)
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -182,7 +222,10 @@ class ResultCache:
                                        suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump({"job": job.spec(), "stats": stats_dict},
+                    json.dump({"job": job.spec(),
+                               "job_hash": job.job_hash(),
+                               "config_hash": job.config_hash(),
+                               "stats": stats_dict},
                               handle, sort_keys=True)
                 os.replace(tmp, path)
             finally:
@@ -213,6 +256,15 @@ class ResultCache:
         """Total size of every entry across all fingerprints."""
         return sum(size for _path, size, _mtime
                    in walk_store(self.directory))
+
+    def orphaned(self):
+        """``(entries, fingerprints)`` stranded under fingerprints other
+        than the current one — results from older code or an older
+        hashing scheme that can never be served again (``harness
+        cache`` reports them; ``--clear --all`` or pruning reclaims
+        them)."""
+        stale = stale_fingerprints(self.directory, self.fingerprint)
+        return sum(count for _name, count in stale), len(stale)
 
     def clear(self, all_fingerprints=False):
         """Drop cached results (current fingerprint only by default).

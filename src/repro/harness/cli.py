@@ -3,8 +3,14 @@
 Reproduce single points (or small sweeps) without pytest::
 
     python -m repro.harness run --workload bfs --kind mssr --streams 4
+    python -m repro.harness run --workload bfs --set mssr.rgid_bits=8
     python -m repro.harness run --workload bfs --workload cc --jobs 8 --json
     python -m repro.harness run --workload bfs --sampled --interval 2000
+    python -m repro.harness sweep examples/sweeps/fig10_small.toml
+    python -m repro.harness sweep examples/sweeps/smoke.toml --dry-run
+    python -m repro.harness config show --provenance
+    python -m repro.harness config hash --kind mssr --set mssr.wpb_entries=32
+    python -m repro.harness config docs --check
     python -m repro.harness trace --workload bfs --kind mssr --out bfs.jsonl
     python -m repro.harness profile --workload bfs --interval 2000
     python -m repro.harness simpoints --workload bfs --interval 2000
@@ -49,6 +55,47 @@ def _build_parser():
                      help="SimPoint-sampled execution instead of a full "
                           "detailed run")
     _add_sampling_args(run)
+
+    sweep = sub.add_parser(
+        "sweep", help="expand a declared scenario sweep into a "
+                      "deduplicated job batch and run it")
+    sweep.add_argument("file", help="TOML/JSON sweep declaration")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: the sweep "
+                            "file's, else REPRO_JOBS)")
+    sweep.add_argument("--dry-run", action="store_true",
+                       help="print the expanded plan without simulating")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+    sweep.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit full per-entry results as JSON")
+
+    config = sub.add_parser(
+        "config", help="inspect the layered configuration tree")
+    config.add_argument("action", nargs="?", default="show",
+                        choices=("show", "hash", "docs"),
+                        help="show the resolved tree, print the model "
+                             "config hash, or (re)generate the "
+                             "configuration reference docs")
+    config.add_argument("--file", default=None,
+                        help="TOML/JSON config file for the file layer "
+                             "(default: REPRO_CONFIG)")
+    config.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE", dest="overrides",
+                        help="override layer entries (repeatable)")
+    config.add_argument("--provenance", action="store_true",
+                        help="show: annotate every value with the layer "
+                             "that set it")
+    config.add_argument("--kind", default=None,
+                        choices=sorted(KIND_PARAMS),
+                        help="hash: restrict to the sections active "
+                             "for this job kind")
+    config.add_argument("--check", action="store_true",
+                        help="docs: fail if the generated reference is "
+                             "stale instead of rewriting it")
+    config.add_argument("--target", default=None,
+                        help="docs: file holding the generated block "
+                             "(default: README.md next to the package)")
 
     profile = sub.add_parser(
         "profile", help="profile a workload into per-interval BBVs")
@@ -168,6 +215,10 @@ def _add_job_args(parser):
     parser.add_argument("--log", type=int, help="MSSR squash-log entries")
     parser.add_argument("--sets", type=int, help="RI/DIR table sets")
     parser.add_argument("--ways", type=int, help="RI/DIR associativity")
+    parser.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE", dest="overrides",
+                        help="dotted configuration-tree override, e.g. "
+                             "mssr.rgid_bits=8 (repeatable)")
     parser.add_argument("--max-cycles", type=int, default=None,
                         help="per-job simulated-cycle guard")
     parser.add_argument("--wall-timeout", type=float, default=None,
@@ -181,6 +232,11 @@ def _collect_params(args):
         if value is not None:
             params[key] = value
     return params
+
+
+def _collect_overrides(args):
+    from repro.config.tree import parse_overrides
+    return parse_overrides(getattr(args, "overrides", []) or [])
 
 
 def _expand_workloads(names):
@@ -205,7 +261,8 @@ def _cmd_run(args, out):
                          _collect_params(args),
                          max_cycles=args.max_cycles,
                          wall_seconds=args.wall_timeout,
-                         sampling=sampling)
+                         sampling=sampling,
+                         config=_collect_overrides(args))
                   for name in workloads]
     except (KeyError, ValueError) as exc:
         _log.error("%s", exc)
@@ -222,6 +279,7 @@ def _cmd_run(args, out):
     if args.as_json:
         payload = [{"job": job.spec(),
                     "job_hash": job.job_hash(),
+                    "config_hash": job.config_hash(),
                     "stats": report.results[job].as_dict()}
                    for job in jobset]
         json.dump(payload, out, indent=2, sort_keys=True)
@@ -235,7 +293,7 @@ def _cmd_run(args, out):
 
 
 def _cmd_trace(args, out):
-    from repro.harness.jobs import _WallClock, build_config, build_scheme
+    from repro.harness.jobs import _WallClock
     from repro.obs import JsonlTraceSink, KonataSink, Observability, \
         run_lockstep
     from repro.pipeline.core import O3Core
@@ -244,7 +302,8 @@ def _cmd_trace(args, out):
     try:
         job = SimJob(args.workload, args.kind, args.scale,
                      _collect_params(args), max_cycles=args.max_cycles,
-                     wall_seconds=args.wall_timeout)
+                     wall_seconds=args.wall_timeout,
+                     config=_collect_overrides(args))
         workload = get_workload(job.workload)
     except (KeyError, ValueError) as exc:
         _log.error("%s", exc)
@@ -258,9 +317,8 @@ def _cmd_trace(args, out):
     obs = Observability(sinks=sinks)
 
     _mod, prog = workload.build(job.scale)
-    params = job.param_dict
-    config = build_config(job.kind, **params)
-    scheme = build_scheme(job.kind, **params)
+    config = job.build_config()
+    scheme = job.build_scheme()
 
     try:
         with _WallClock(job.wall_seconds):
@@ -397,6 +455,96 @@ def _cmd_perf(args, out):
     return 0
 
 
+def _cmd_sweep(args, out):
+    from repro.config.sweep import SweepError, load_sweep
+    from repro.harness.runner import JobFailure
+
+    try:
+        sweep = load_sweep(args.file)
+        plan = sweep.expand()
+    except (SweepError, KeyError, ValueError) as exc:
+        _log.error("%s", exc)
+        return 2
+
+    out.write("%s%s\n" % ("# " if args.as_json else "", plan.summary()))
+    if args.dry_run:
+        for entry in plan.entries:
+            out.write("%-14s %-44s job=%s config=%s\n"
+                      % (entry.scenario, entry.job.label(),
+                         entry.job.job_hash()[:12],
+                         entry.job.config_hash()[:12]))
+        return 0
+
+    n_jobs = args.jobs if args.jobs is not None else sweep.jobs
+    try:
+        report = run_batch(plan.jobs, n_jobs=n_jobs,
+                           cache=False if args.no_cache else None)
+    except JobFailure as exc:
+        _log.error("%s", exc)
+        return 1
+
+    if args.as_json:
+        payload = {
+            "sweep": sweep.name,
+            "declared": plan.declared,
+            "unique": len(plan.jobs),
+            "entries": [{"scenario": entry.scenario,
+                         "job": entry.job.spec(),
+                         "job_hash": entry.job.job_hash(),
+                         "config_hash": entry.job.config_hash(),
+                         "stats": report.results[entry.job].as_dict()}
+                        for entry in plan.entries],
+        }
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        for entry in plan.entries:
+            out.write("%-14s %-44s %s\n"
+                      % (entry.scenario, entry.job.label(),
+                         report.results[entry.job].summary()))
+    out.write("# %s\n" % report.summary())
+    return 0
+
+
+def _cmd_config(args, out):
+    from repro.config.tree import resolve
+
+    if args.action == "docs":
+        from repro.config.docs import update_file
+        import os
+        target = args.target
+        if target is None:
+            target = os.path.join(os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.dirname(
+                    os.path.abspath(__file__))))), "README.md")
+        try:
+            fresh = update_file(target, check=args.check)
+        except (OSError, ValueError) as exc:
+            _log.error("%s", exc)
+            return 2
+        if args.check and not fresh:
+            _log.error("%s is stale; regenerate with "
+                       "`python -m repro.harness config docs`", target)
+            return 1
+        out.write("%s: %s\n" % (target,
+                                "up to date" if fresh else "rewritten"))
+        return 0
+
+    try:
+        tree = resolve(file=args.file, overrides=args.overrides)
+    except (KeyError, ValueError) as exc:
+        _log.error("%s", exc)
+        return 2
+
+    if args.action == "hash":
+        out.write("%s\n" % tree.config_hash(kind=args.kind))
+        return 0
+    for line in tree.lines(provenance=args.provenance):
+        out.write(line + "\n")
+    out.write("\n# config hash: %s\n" % tree.config_hash())
+    return 0
+
+
 def _cmd_list(args, out):
     from repro.workloads.registry import SUITES, get_workload, \
         suite_names, workload_names
@@ -438,6 +586,9 @@ def _cmd_cache(args, out):
     out.write("fingerprint : %s\n" % code_fingerprint())
     out.write("entries     : %d (%d bytes)\n"
               % (cache.entries(), cache.total_bytes()))
+    orphans, stale = cache.orphaned()
+    out.write("orphaned    : %d entr(y/ies) under %d stale "
+              "fingerprint(s)\n" % (orphans, stale))
     out.write("ckpt dir    : %s\n" % store.directory)
     out.write("ckpt entries: %d (%d bytes)\n"
               % (store.entries(), store.total_bytes()))
@@ -450,6 +601,10 @@ def main(argv=None, out=None):
     out = out or sys.stdout
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
+    if args.command == "config":
+        return _cmd_config(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
     if args.command == "profile":

@@ -7,6 +7,16 @@ points are deduplicated within a batch, memoised across experiments in
 one process, and persisted across processes by the on-disk result cache
 (:mod:`repro.harness.cache`).
 
+Job hashes are computed over the *fully resolved* configuration
+snapshot (:func:`repro.config.tree.job_snapshot`): the spec embeds
+every model key of the active sections at its resolved value, so a
+persisted result is reproducible from its file alone and a changed
+default is a changed hash. The short scheme parameters (``streams``,
+``wpb``, ...) and arbitrary dotted ``config`` overrides
+(``mssr.rgid_bits=8``) both land in the same snapshot, so two jobs
+that describe the same point hash identically regardless of how they
+were declared.
+
 Workers rebuild the program and configuration from the job spec and
 return :class:`~repro.pipeline.stats.SimStats` as a plain dict, so a
 job's full lifecycle (submit, transport, persist) never relies on
@@ -21,13 +31,18 @@ import signal
 import threading
 from typing import Optional, Tuple
 
-#: Scheme parameters accepted per configuration kind.
-KIND_PARAMS = {
-    "baseline": (),
-    "mssr": ("streams", "wpb", "log"),
-    "ri": ("sets", "ways"),
-    "dir": ("sets", "ways"),
+#: Short scheme parameter -> configuration-tree key, per kind.
+KIND_PARAM_KEYS = {
+    "baseline": {},
+    "mssr": {"streams": "mssr.num_streams", "wpb": "mssr.wpb_entries",
+             "log": "mssr.squash_log_entries"},
+    "ri": {"sets": "ri.num_sets", "ways": "ri.assoc"},
+    "dir": {"sets": "dir.num_sets", "ways": "dir.assoc"},
 }
+
+#: Scheme parameters accepted per configuration kind.
+KIND_PARAMS = {kind: tuple(mapping)
+               for kind, mapping in KIND_PARAM_KEYS.items()}
 
 
 class JobTimeout(Exception):
@@ -44,12 +59,19 @@ class SimJob:
     only — a guarded run either produces the exact same stats or fails —
     so they are excluded from the job hash.
 
+    ``config`` holds extra overrides as dotted configuration-tree keys
+    (``{"mssr.rgid_bits": 8}`` or a tuple of pairs) — any model key of
+    the sections active for ``kind`` is sweepable. Overrides are
+    validated against the schema, canonicalised to a sorted tuple of
+    pairs and folded into the resolved snapshot; a short parameter and
+    a dotted override naming the same field resolve with the short
+    parameter winning.
+
     ``sampling`` switches the job to SimPoint-sampled execution
     (:mod:`repro.sampling`): ``True`` for the default
     :class:`~repro.sampling.sampler.SamplingSpec`, or a dict /
     ``SamplingSpec`` of knobs. It is canonicalised to a sorted tuple of
-    pairs and only enters the job hash when set, so the hashes of all
-    full-run jobs (and any results already on disk) are unchanged.
+    pairs and only enters the job hash when set.
     """
 
     workload: str
@@ -59,6 +81,7 @@ class SimJob:
     max_cycles: Optional[int] = None
     wall_seconds: Optional[float] = None
     sampling: Optional[Tuple] = None
+    config: Tuple = ()
 
     def __post_init__(self):
         if self.kind not in KIND_PARAMS:
@@ -76,6 +99,12 @@ class SimJob:
                     "parameter %r not valid for kind %r (allowed: %s)"
                     % (key, self.kind, ", ".join(allowed) or "none"))
         object.__setattr__(self, "params", params)
+        config = self.config
+        if isinstance(config, dict):
+            config = tuple(sorted(config.items()))
+        else:
+            config = tuple(sorted(tuple(pair) for pair in config))
+        object.__setattr__(self, "config", config)
         object.__setattr__(self, "scale", round(float(self.scale), 6))
         if self.sampling is not None:
             from repro.sampling.sampler import SamplingSpec
@@ -83,11 +112,47 @@ class SimJob:
                 else SamplingSpec.from_any(self.sampling)
             object.__setattr__(self, "sampling",
                                tuple(sorted(spec.spec().items())))
+        if config:
+            # Eagerly validate keys, values and section/kind fit, so a
+            # bad sweep axis fails at declaration, not mid-batch.
+            self.resolved_config()
 
     # ------------------------------------------------------------------
     @property
     def param_dict(self):
         return dict(self.params)
+
+    def overrides(self):
+        """Merged dotted-key overrides: ``config`` plus the short
+        scheme parameters mapped onto their tree keys."""
+        merged = dict(self.config)
+        mapping = KIND_PARAM_KEYS[self.kind]
+        for key, value in self.params:
+            merged[mapping[key]] = value
+        return merged
+
+    def resolved_config(self):
+        """The fully resolved model snapshot for this job: every model
+        key of the active sections at its resolved value."""
+        from repro.config.tree import job_snapshot
+        return job_snapshot(self.kind, self.overrides())
+
+    def config_hash(self):
+        """Stable hash of the resolved configuration snapshot alone
+        (shared by every workload simulated under this configuration)."""
+        from repro.config.tree import snapshot_hash
+        return snapshot_hash(self.resolved_config())
+
+    def build_config(self):
+        """The :class:`~repro.pipeline.config.CoreConfig` this job
+        simulates (scheme sub-config included)."""
+        from repro.config.tree import build_core_config
+        return build_core_config(self.kind, self.overrides())
+
+    def build_scheme(self):
+        """Explicit reuse-scheme object (DIR), or None."""
+        from repro.config.tree import build_reuse_scheme
+        return build_reuse_scheme(self.kind, self.overrides())
 
     @property
     def sampling_spec(self):
@@ -100,17 +165,22 @@ class SimJob:
     def spec(self):
         """Canonical JSON-able description (hash input).
 
-        Includes the predecode schema version: bumping
-        ``PREDECODE_VERSION`` changes every job hash, so results
-        simulated before a semantics-affecting predecode change are
-        never silently reused.
+        The ``config`` entry is the fully resolved model snapshot, so
+        the hash covers every knob that can affect the run — changed
+        defaults change hashes, and a persisted result is reproducible
+        from its spec alone. The predecode and config-schema versions
+        are folded in as well: bumping either changes every job hash,
+        so results computed under older semantics or an older hashing
+        scheme are never silently reused.
         """
+        from repro.config.schema import CONFIG_SCHEMA_VERSION
         from repro.isa.predecode import PREDECODE_VERSION
         out = {
             "workload": self.workload,
             "kind": self.kind,
             "scale": self.scale,
-            "params": [[k, v] for k, v in self.params],
+            "config": self.resolved_config(),
+            "schema": CONFIG_SCHEMA_VERSION,
             "predecode": PREDECODE_VERSION,
         }
         if self.sampling is not None:
@@ -118,12 +188,18 @@ class SimJob:
         return out
 
     def job_hash(self):
-        blob = json.dumps(self.spec(), sort_keys=True,
-                          separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+        cached = self.__dict__.get("_job_hash")
+        if cached is None:
+            blob = json.dumps(self.spec(), sort_keys=True,
+                              separators=(",", ":"))
+            cached = hashlib.sha256(blob.encode("utf-8")) \
+                .hexdigest()[:24]
+            object.__setattr__(self, "_job_hash", cached)
+        return cached
 
     def label(self):
-        params = " ".join("%s=%s" % kv for kv in self.params)
+        pairs = list(self.params) + list(self.config)
+        params = " ".join("%s=%s" % kv for kv in pairs)
         sampled = " [sampled]" if self.sampling is not None else ""
         return "%s/%s%s%s%s" % (self.workload, self.kind,
                                 " " if params else "", params, sampled)
@@ -134,40 +210,45 @@ class SimJob:
 
 # ---------------------------------------------------------------------------
 # Config / scheme construction (the single source of truth; the legacy
-# ``repro.analysis.config_for`` delegates here).
+# ``repro.analysis.config_for`` delegates here). Both resolve through
+# the configuration tree, so a config built here is byte-for-byte the
+# one a SimJob with the same parameters would hash and persist.
 # ---------------------------------------------------------------------------
-def build_config(kind, **params):
+def _merged_overrides(kind, config_overrides, params):
+    if kind not in KIND_PARAM_KEYS:
+        raise ValueError("unknown config kind %r (have: %s)"
+                         % (kind, ", ".join(sorted(KIND_PARAM_KEYS))))
+    merged = dict(config_overrides or {})
+    mapping = KIND_PARAM_KEYS[kind]
+    for key, value in params.items():
+        if key not in mapping:
+            raise ValueError(
+                "parameter %r not valid for kind %r (allowed: %s)"
+                % (key, kind, ", ".join(mapping) or "none"))
+        merged[mapping[key]] = value
+    return merged
+
+
+def build_config(kind, config_overrides=None, **params):
     """Build a named core configuration.
 
     ``kind``: ``baseline``, ``mssr`` (params: streams, wpb, log),
     ``ri`` (params: sets, ways) or ``dir`` (scheme object on a baseline
-    core, params: sets, ways).
+    core, params: sets, ways). ``config_overrides`` takes arbitrary
+    dotted configuration-tree keys (``{"mssr.rgid_bits": 8}``).
     """
-    from repro.pipeline.config import baseline_config, mssr_config, \
-        ri_config
-    if kind == "baseline":
-        return baseline_config()
-    if kind == "mssr":
-        return mssr_config(num_streams=params.get("streams", 4),
-                           wpb_entries=params.get("wpb", 16),
-                           squash_log_entries=params.get("log", 64))
-    if kind == "ri":
-        return ri_config(num_sets=params.get("sets", 64),
-                         assoc=params.get("ways", 4))
-    if kind == "dir":
-        # DIR plugs in as an explicit scheme object (value-based reuse
-        # needs no core configuration beyond the baseline).
-        return baseline_config()
-    raise ValueError("unknown config kind %r" % kind)
+    from repro.config.tree import build_core_config
+    return build_core_config(kind,
+                             _merged_overrides(kind, config_overrides,
+                                               params))
 
 
-def build_scheme(kind, **params):
+def build_scheme(kind, config_overrides=None, **params):
     """Explicit reuse-scheme object for kinds the config can't express."""
-    if kind != "dir":
-        return None
-    from repro.baselines.dir_reuse import DynamicInstructionReuse, DIRConfig
-    return DynamicInstructionReuse(DIRConfig(
-        num_sets=params.get("sets", 64), assoc=params.get("ways", 4)))
+    from repro.config.tree import build_reuse_scheme
+    return build_reuse_scheme(kind,
+                              _merged_overrides(kind, config_overrides,
+                                                params))
 
 
 # ---------------------------------------------------------------------------
@@ -214,7 +295,8 @@ def trace_path_for(job, directory):
 def _env_trace_obs(job):
     """Observability for ``REPRO_TRACE=<dir>``: every executed job writes
     a JSONL event trace into the directory (workers included)."""
-    directory = os.environ.get("REPRO_TRACE", "").strip()
+    from repro.config import envreg
+    directory = envreg.get("REPRO_TRACE")
     if not directory:
         return None
     from repro.obs import JsonlTraceSink, Observability
@@ -249,22 +331,20 @@ def execute(job, obs=None):
         with _WallClock(job.wall_seconds):
             workload = get_workload(job.workload)
             _mod, prog = workload.build(job.scale)
-            params = job.param_dict
-            config = build_config(job.kind, **params)
+            config = job.build_config()
             if job.sampling is not None:
                 from repro.sampling.checkpoint import CheckpointStore
                 from repro.sampling.sampler import run_sampled
                 result = run_sampled(
                     prog, config,
-                    scheme_factory=lambda: build_scheme(job.kind,
-                                                        **params),
+                    scheme_factory=job.build_scheme,
                     spec=job.sampling_spec, obs=obs,
                     max_cycles=job.max_cycles,
                     store=CheckpointStore.from_env(),
                     key_spec={"workload": job.workload,
                               "scale": job.scale})
                 return result.stats
-            scheme = build_scheme(job.kind, **params)
+            scheme = job.build_scheme()
             core = O3Core(prog, config, reuse_scheme=scheme, obs=obs)
             result = core.run(max_cycles=job.max_cycles)
     finally:

@@ -70,13 +70,8 @@ class BatchReport:
 
 def default_jobs():
     """Worker count from ``REPRO_JOBS`` (0 means all CPUs; default 1)."""
-    raw = os.environ.get("REPRO_JOBS", "").strip()
-    if not raw:
-        return 1
-    try:
-        value = int(raw)
-    except ValueError:
-        return 1
+    from repro.config import envreg
+    value = envreg.get("REPRO_JOBS")
     if value <= 0:
         return os.cpu_count() or 1
     return value

@@ -25,8 +25,6 @@ predecoded program can be cached on the :class:`Program` and shared by
 every emulator / core instance built from it.
 """
 
-import os
-
 from repro.isa.opcodes import Op, OpClass
 from repro.utils.bits import sext32, to_unsigned, wrap64
 
@@ -67,7 +65,8 @@ def slowpath_enabled():
     """True when ``REPRO_SLOWPATH=1`` requests the pre-predecode
     interpretive paths (differential-testing escape hatch). Read at
     emulator/core construction time, so tests can toggle per instance."""
-    return os.environ.get("REPRO_SLOWPATH", "").strip() not in ("", "0")
+    from repro.config import envreg
+    return envreg.get("REPRO_SLOWPATH")
 
 
 class PDInst:

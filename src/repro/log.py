@@ -11,7 +11,6 @@ the configured level.
 """
 
 import logging
-import os
 import sys
 
 #: Root logger name for the whole package.
@@ -44,9 +43,10 @@ def configure(level=logging.INFO, fmt="%(levelname)s %(name)s: %(message)s"):
     Returns the root ``repro`` logger. ``REPRO_LOG_LEVEL`` overrides
     ``level`` when set.
     """
-    env_level = os.environ.get("REPRO_LOG_LEVEL", "").strip().upper()
+    from repro.config import envreg
+    env_level = envreg.get("REPRO_LOG_LEVEL")
     if env_level:
-        level = getattr(logging, env_level, level)
+        level = getattr(logging, env_level.strip().upper(), level)
     root = logging.getLogger(ROOT_NAME)
     if not any(isinstance(h, _DynamicStderrHandler) for h in root.handlers):
         handler = _DynamicStderrHandler()

@@ -3,6 +3,29 @@
 import dataclasses
 from typing import Optional
 
+#: Closed value sets for the enum-like string knobs. A typo here used
+#: to fall through silently (e.g. ``memory_hazard_scheme="blooom"``
+#: built no Bloom filter and quietly ran verify-mode), so both are now
+#: validated at construction with did-you-mean suggestions.
+MEMORY_HAZARD_SCHEMES = ("verify", "bloom")
+PREDICTOR_KINDS = ("always-taken", "bimodal", "gshare", "tage",
+                   "tage-scl")
+
+
+def _check_choice(what, value, choices):
+    if value not in choices:
+        from repro.config.schema import suggestion
+        raise ValueError("invalid %s %r%s (choose from: %s)"
+                         % (what, value, suggestion(value, choices),
+                            ", ".join(choices)))
+
+
+def _check_positive(config, *names):
+    for name in names:
+        if getattr(config, name) < 1:
+            raise ValueError("%s must be >= 1, got %r"
+                             % (name, getattr(config, name)))
+
 
 @dataclasses.dataclass
 class MSSRConfig:
@@ -29,6 +52,14 @@ class MSSRConfig:
     #: optimisation). Reconvergence beyond the page is then not detected.
     single_page_wpb: bool = False
 
+    def __post_init__(self):
+        _check_choice("memory_hazard_scheme", self.memory_hazard_scheme,
+                      MEMORY_HAZARD_SCHEMES)
+        _check_positive(self, "num_streams", "wpb_entries",
+                        "squash_log_entries", "rgid_bits",
+                        "reconvergence_timeout", "rgid_overflow_limit",
+                        "bloom_bits", "bloom_hashes")
+
 
 @dataclasses.dataclass
 class RIConfig:
@@ -36,6 +67,9 @@ class RIConfig:
 
     num_sets: int = 64
     assoc: int = 4
+
+    def __post_init__(self):
+        _check_positive(self, "num_sets", "assoc")
 
 
 @dataclasses.dataclass
@@ -95,6 +129,19 @@ class CoreConfig:
             raise ValueError("enable at most one reuse scheme")
         if self.num_phys_regs < 32 + self.width:
             raise ValueError("too few physical registers")
+        _check_choice("predictor", self.predictor, PREDICTOR_KINDS)
+        _check_positive(self, "fetch_block_insts",
+                        "fetch_blocks_per_cycle", "frontend_stages",
+                        "decode_queue", "btb_sets", "btb_assoc",
+                        "ras_depth", "width", "rob_entries",
+                        "int_iq_entries", "mem_iq_entries", "num_alu",
+                        "num_bru", "num_lsu", "lq_entries", "sq_entries",
+                        "l1_size", "l1_assoc", "l1_latency", "l2_size",
+                        "l2_assoc", "l2_latency", "dram_latency",
+                        "max_cycles")
+        if self.btb_sets & (self.btb_sets - 1):
+            raise ValueError("btb_sets must be a power of two, got %d"
+                             % self.btb_sets)
 
 
 def baseline_config(**overrides):

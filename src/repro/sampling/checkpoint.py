@@ -30,8 +30,6 @@ from repro.harness.cache import (
 )
 from repro.pipeline.core import InitialState
 
-_DISABLE_VALUES = ("", "0", "off", "none", "disabled")
-
 #: Branch-trace entry flags (bitmask in the 4th tuple slot).
 FLAG_COND = 1
 FLAG_INDIRECT = 2
@@ -178,10 +176,11 @@ class CheckpointStore:
     @classmethod
     def from_env(cls):
         """Store configured by ``REPRO_CKPT_DIR`` (None if disabled)."""
-        raw = os.environ.get("REPRO_CKPT_DIR")
-        if raw is not None and raw.strip().lower() in _DISABLE_VALUES:
+        from repro.config import envreg
+        enabled, directory = envreg.store_dir("REPRO_CKPT_DIR")
+        if not enabled:
             return None
-        return cls(directory=raw or None)
+        return cls(directory=directory)
 
     def _path(self, key):
         return os.path.join(self.directory, self.fingerprint,

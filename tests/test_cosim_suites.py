@@ -10,10 +10,9 @@ mode: the emulator is stepped commit-by-commit alongside the core
 exact first wrong commit instead of as a final-state diff.
 """
 
-import os
-
 import pytest
 
+from repro.config import envreg
 from repro.emu import Emulator
 from repro.obs import run_lockstep
 from repro.pipeline import O3Core, baseline_config, mssr_config, ri_config
@@ -22,7 +21,7 @@ from repro.workloads import get_workload
 _SCALE = 0.08
 
 #: Opt-in deep mode: lockstep-check every commit (slower, more precise).
-_LOCKSTEP = bool(os.environ.get("REPRO_LOCKSTEP", "").strip())
+_LOCKSTEP = envreg.get("REPRO_LOCKSTEP")
 
 # A representative subset per scheme keeps runtime reasonable; the full
 # matrix runs in the benchmark suite.
