@@ -27,13 +27,14 @@ from repro.config import envreg
 #: a way that alters configuration hashes; folded into job specs and the
 #: harness cache fingerprint so results hashed under an older scheme are
 #: never misattributed to the new one.
-CONFIG_SCHEMA_VERSION = 1
+CONFIG_SCHEMA_VERSION = 2
 
 #: Model sections, in canonical order.
-MODEL_SECTIONS = ("core", "mssr", "ri", "dir", "sampling")
+MODEL_SECTIONS = ("core", "frontend", "mssr", "ri", "dir", "sampling")
 
-#: Extra model sections required by each job kind (``core`` is always
-#: present; ``sampling`` joins when the job is sampled).
+#: Extra model sections required by each job kind (``core`` and
+#: ``frontend`` are always present; ``sampling`` joins when the job is
+#: sampled).
 KIND_SECTIONS = {
     "baseline": (),
     "mssr": ("mssr",),
@@ -140,6 +141,17 @@ _DOCS = {
     "core.btb_sets": "Branch target buffer sets (power of two).",
     "core.btb_assoc": "Branch target buffer associativity.",
     "core.ras_depth": "Return address stack depth.",
+    "frontend.decoupled":
+        "Run the branch-prediction unit decoupled from fetch (FTQ-"
+        "driven IFU); false reproduces the fused single-stage fetch.",
+    "frontend.ftq_depth":
+        "Fetch target queue capacity (prediction blocks the BPU may "
+        "run ahead of fetch).",
+    "frontend.fetch_latency":
+        "Fetch-to-decode latency in cycles (icache access of the "
+        "decoupled fetch pipeline).",
+    "frontend.bpu_blocks_per_cycle":
+        "Prediction blocks the BPU appends to the FTQ per cycle.",
     "core.width": "Decode/rename/commit width.",
     "core.rob_entries": "Reorder buffer entries.",
     "core.int_iq_entries": "Integer issue-queue entries.",
@@ -225,11 +237,14 @@ def _dataclass_fields(section, cls, skip=()):
 
 def _build_schema():
     from repro.baselines.dir_reuse import DIRConfig
-    from repro.pipeline.config import CoreConfig, MSSRConfig, RIConfig
+    from repro.pipeline.config import (CoreConfig, FrontendConfig,
+                                       MSSRConfig, RIConfig)
     from repro.sampling.sampler import SamplingSpec
 
     specs = []
-    specs += _dataclass_fields("core", CoreConfig, skip=("mssr", "ri"))
+    specs += _dataclass_fields("core", CoreConfig,
+                               skip=("frontend", "mssr", "ri"))
+    specs += _dataclass_fields("frontend", FrontendConfig)
     specs += _dataclass_fields("mssr", MSSRConfig)
     specs += _dataclass_fields("ri", RIConfig)
     dir_defaults = DIRConfig()
@@ -285,7 +300,8 @@ def model_keys(kind=None, sampled=False):
             raise KeyError("unknown config kind %r%s"
                            % (kind, suggestion(kind,
                                                KIND_SECTIONS))) from None
-        sections = ("core",) + extra + (("sampling",) if sampled else ())
+        sections = ("core", "frontend") + extra \
+            + (("sampling",) if sampled else ())
     out = []
     for section in sections:
         out.extend(key for key in schema()

@@ -267,12 +267,17 @@ def job_snapshot(kind, overrides=(), sampling=None):
 def build_core_config(kind, overrides=()):
     """A :class:`~repro.pipeline.config.CoreConfig` (with the scheme
     sub-config for ``kind``) from defaults + ``overrides``."""
-    from repro.pipeline.config import CoreConfig, MSSRConfig, RIConfig
+    from repro.pipeline.config import (CoreConfig, FrontendConfig,
+                                       MSSRConfig, RIConfig)
 
     snapshot = job_snapshot(kind, overrides)
     kwargs = {key.partition(".")[2]: value
               for key, value in snapshot.items()
               if key.startswith("core.")}
+    kwargs["frontend"] = FrontendConfig(
+        **{key.partition(".")[2]: value
+           for key, value in snapshot.items()
+           if key.startswith("frontend.")})
     if kind == "mssr":
         kwargs["mssr"] = MSSRConfig(**{key.partition(".")[2]: value
                                        for key, value in snapshot.items()

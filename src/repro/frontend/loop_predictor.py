@@ -5,6 +5,13 @@ same trip count has been observed several times in a row (high
 confidence), the predictor can override the main predictor on the final,
 otherwise-mispredicted exit iteration.
 
+Entries record the loop *body direction* (``dir``): compilers emit both
+polarities — backward branches taken around the body and not-taken on
+exit, and forward exit-checks not-taken around the body and taken on
+exit. A polarity-blind counter degenerates on the second kind (every
+body iteration looks like a trip-1 "exit", which the entry then
+confidently — and wrongly — predicts at the real exit).
+
 Speculative iteration counts are maintained at predict time and repaired
 on misprediction recovery; the architectural trip statistics are only
 trained at commit.
@@ -12,10 +19,12 @@ trained at commit.
 
 
 class _LoopEntry:
-    __slots__ = ("tag", "trip", "commit_count", "spec_count", "confidence")
+    __slots__ = ("tag", "dir", "trip", "commit_count", "spec_count",
+                 "confidence")
 
     def __init__(self):
         self.tag = -1
+        self.dir = True
         self.trip = 0
         self.commit_count = 0
         self.spec_count = 0
@@ -39,21 +48,64 @@ class LoopPredictor:
     # ------------------------------------------------------------------
     def predict(self, pc):
         """Return (valid, taken) and advance the speculative count."""
+        valid, taken, _ckpt = self.predict_spec(pc)
+        return valid, taken
+
+    def predict_spec(self, pc):
+        """Like :meth:`predict` but also returns a checkpoint for
+        :meth:`unwind` — ``(index, tag, spec_count before this
+        prediction)``, or None when no confident entry was advanced.
+
+        Entries with ``trip < 2`` never predict: a "loop" whose body
+        runs zero times is just a biased branch, and counting adds
+        nothing over the main predictor."""
         entry = self._entry(pc)
-        if entry is None or entry.confidence < self.CONFIDENT:
-            return False, False
-        taken = entry.spec_count + 1 < entry.trip
-        if taken:
+        if entry is None or entry.confidence < self.CONFIDENT \
+                or entry.trip < 2:
+            return False, False, None
+        ckpt = ((pc >> 2) % self.num_entries, entry.tag, entry.spec_count)
+        in_body = entry.spec_count + 1 < entry.trip
+        if in_body:
             entry.spec_count += 1
+            taken = entry.dir
         else:
             entry.spec_count = 0
-        return True, taken
+            taken = not entry.dir
+        return True, taken, ckpt
 
-    def recover(self, pc):
-        """Repair the speculative count after a squash involving ``pc``."""
+    def unwind(self, ckpt):
+        """Roll back one speculative advance (squashed prediction).
+
+        Unwinds must be applied youngest-prediction-first; the tag
+        guard skips entries reallocated since the checkpoint."""
+        if ckpt is None:
+            return
+        idx, tag, spec_count = ckpt
+        entry = self.entries[idx]
+        if entry.tag == tag:
+            entry.spec_count = spec_count
+
+    def resolve(self, pc, taken, ckpt):
+        """Resynchronise the speculative count at a mispredicted branch.
+
+        Called after every *younger* squashed prediction has been
+        unwound, so the entry holds this branch's pre-prediction count
+        (``ckpt``); redo its speculative advance with the actual
+        outcome. Surviving older in-flight iterations stay counted —
+        unlike a blunt ``spec = commit`` resync, which would forget
+        them and desynchronise every later exit prediction."""
         entry = self._entry(pc)
-        if entry is not None:
-            entry.spec_count = entry.commit_count
+        if entry is None:
+            return
+        if ckpt is not None:
+            _idx, tag, spec_count = ckpt
+            if entry.tag == tag:
+                entry.spec_count = \
+                    spec_count + 1 if taken == entry.dir else 0
+        elif taken != entry.dir:
+            # No confident entry at predict time, but an architectural
+            # loop exit still resets the iteration count.
+            entry.spec_count = 0
 
     def update(self, pc, taken):
         """Train with a committed outcome of the branch at ``pc``."""
@@ -63,20 +115,32 @@ class LoopPredictor:
             # Allocate only when losing entries are stale (no confidence).
             if entry.confidence == 0:
                 entry.tag = pc
+                entry.dir = taken   # first outcome is assumed body-wards
                 entry.trip = 0
-                entry.commit_count = 0
+                entry.commit_count = 1
                 entry.spec_count = 0
                 entry.confidence = 0
             else:
                 entry.confidence -= 1
-                return
-        if taken:
+            return
+        if taken == entry.dir:
             entry.commit_count += 1
             if entry.commit_count >= self.max_trip:
                 # Not a countable loop; poison the entry.
                 entry.tag = -1
                 entry.confidence = 0
         else:
+            if entry.commit_count == 0 and entry.trip <= 1:
+                # Consecutive exits with no body in between: the
+                # polarity guess was wrong. Flip it and restart
+                # counting, treating this outcome as the first body
+                # iteration of the re-oriented loop.
+                entry.dir = taken
+                entry.trip = 0
+                entry.commit_count = 1
+                entry.spec_count = 0
+                entry.confidence = 0
+                return
             observed = entry.commit_count + 1
             if observed == entry.trip:
                 entry.confidence = min(entry.confidence + 1, 7)
@@ -84,4 +148,7 @@ class LoopPredictor:
                 entry.trip = observed
                 entry.confidence = 0
             entry.commit_count = 0
-            entry.spec_count = 0
+            # Deliberately leave spec_count alone: the predict path
+            # already reset it when the exit was *predicted*, and the
+            # next execution's iterations may be in flight by the time
+            # the exit commits.

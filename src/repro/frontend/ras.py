@@ -3,47 +3,64 @@
 The fetch unit pushes on calls (``jal``/``jalr`` writing ``ra``) and pops
 on returns (``jalr`` through ``ra``). Because pushes/pops happen
 speculatively at fetch, each in-flight control instruction captures a
-snapshot (top-of-stack index plus the would-be-clobbered entry), restored
-on squash — the standard low-cost RAS repair scheme.
+snapshot (top-of-stack pointer, occupancy and the would-be-clobbered
+entry), restored on squash — the standard low-cost RAS repair scheme.
+
+Overflow wraps: a push beyond ``depth`` overwrites the *oldest* entry
+(circular storage) while the occupancy count saturates at ``depth``, so
+a call chain deeper than the stack keeps the newest ``depth`` return
+addresses live and predicts them all correctly on the way back out.
+Underflow is explicit: once the (bounded) occupancy is exhausted, pop
+reports a miss (``None``) instead of walking back into slots whose
+contents were overwritten by the wrap — the old unbounded top-of-stack
+pointer silently returned that stale garbage as a "prediction".
 """
 
 
 class RasSnapshot:
-    __slots__ = ("top", "saved_value")
+    __slots__ = ("top", "count", "saved_value")
 
-    def __init__(self, top, saved_value):
+    def __init__(self, top, count, saved_value):
         self.top = top
+        self.count = count
         self.saved_value = saved_value
 
 
 class ReturnAddressStack:
-    """Circular return-address stack."""
+    """Circular return-address stack with bounded occupancy."""
 
     def __init__(self, depth=32):
         self.depth = depth
         self.stack = [0] * depth
-        self.top = 0  # index of the next free slot
+        self.top = 0    # index of the next free slot (monotonic)
+        self.count = 0  # valid entries, saturating at depth
 
     def snapshot(self):
         """Capture repair state *before* this instruction's push/pop."""
-        return RasSnapshot(self.top, self.stack[self.top % self.depth])
+        return RasSnapshot(self.top, self.count,
+                           self.stack[self.top % self.depth])
 
     def restore(self, snap):
         self.top = snap.top
+        self.count = snap.count
         self.stack[snap.top % self.depth] = snap.saved_value
 
     def push(self, return_pc):
         self.stack[self.top % self.depth] = return_pc
         self.top += 1
+        if self.count < self.depth:
+            self.count += 1
 
     def pop(self):
-        """Predicted return target (0 when empty — caller treats as miss)."""
-        if self.top == 0:
+        """Predicted return target (None on underflow — caller treats
+        it as a miss and falls back to the BTB)."""
+        if self.count == 0:
             return None
         self.top -= 1
+        self.count -= 1
         return self.stack[self.top % self.depth]
 
     def peek(self):
-        if self.top == 0:
+        if self.count == 0:
             return None
         return self.stack[(self.top - 1) % self.depth]

@@ -4,6 +4,14 @@ A small set of perceptron-like tables vote on whether to *invert* the
 TAGE prediction. Each table holds signed counters indexed by PC hashed
 with a different history length; the signed sum (with the TAGE prediction
 as a bias term) overrides TAGE when it is both confident and disagrees.
+
+The confidence bar is *dynamic* (Seznec's threshold adaptation): every
+commit where the corrector disagreed with TAGE bumps a saturating
+counter up (SC was wrong) or down (SC was right), and the threshold
+moves by one when the counter saturates. Without this, a branch whose
+short-history counters are dragged by correlated neighbours can pin
+the sum just past a fixed threshold and veto a perfectly confident —
+and correct — TAGE prediction forever.
 """
 
 from repro.frontend.tage import _fold
@@ -11,6 +19,11 @@ from repro.frontend.tage import _fold
 
 class StatisticalCorrector:
     """GEHL-style corrector over the global history."""
+
+    #: Dynamic-threshold bounds and adaptation-counter saturation.
+    MIN_THRESHOLD = 4
+    MAX_THRESHOLD = 31
+    TC_SATURATE = 4
 
     def __init__(self, num_tables=3, table_entries=1024,
                  hist_lengths=(0, 8, 21), counter_max=31, threshold=6):
@@ -22,6 +35,7 @@ class StatisticalCorrector:
         self.counter_max = counter_max
         self.tables = [[0] * table_entries for _ in range(num_tables)]
         self.threshold = threshold
+        self._tc = 0
 
     def _index(self, pc, table, history):
         folded = _fold(history, self.hist_lengths[table], 10)
@@ -34,16 +48,35 @@ class StatisticalCorrector:
         return total
 
     # ------------------------------------------------------------------
-    def predict(self, pc, history, tage_taken):
-        """Return (use_sc, taken, sum) for the branch at ``pc``."""
+    def predict(self, pc, history, tage_taken, tage_weak=False):
+        """Return (use_sc, taken, sum) for the branch at ``pc``.
+
+        ``tage_weak`` flags a low-confidence TAGE prediction (provider
+        counter in the weak region): the corrector then vetoes TAGE at
+        half its usual confidence bar, since the provider carries
+        little conviction worth defending.
+        """
         total = self._sum(pc, history, tage_taken)
         taken = total >= 0
-        use_sc = taken != tage_taken and abs(total) >= self.threshold
+        bar = self.threshold
+        if tage_weak:
+            bar = max(1, bar // 2)
+        use_sc = taken != tage_taken and abs(total) >= bar
         return use_sc, taken, total
 
     def update(self, pc, history, tage_taken, taken, total):
         """Train at commit when the sum was weak or the outcome was missed."""
         sc_taken = total >= 0
+        if sc_taken != tage_taken:
+            # Threshold adaptation on disagreements: raise the bar when
+            # the corrector argues and loses, lower it when it wins.
+            self._tc += 1 if sc_taken != taken else -1
+            if self._tc >= self.TC_SATURATE:
+                self._tc = 0
+                self.threshold = min(self.MAX_THRESHOLD, self.threshold + 1)
+            elif self._tc <= -self.TC_SATURATE:
+                self._tc = 0
+                self.threshold = max(self.MIN_THRESHOLD, self.threshold - 1)
         if sc_taken != taken or abs(total) <= self.threshold * 4:
             delta = 1 if taken else -1
             for table in range(self.num_tables):

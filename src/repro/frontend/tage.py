@@ -149,17 +149,22 @@ class TagePredictor(BranchPredictor):
                     alt_entry = entry
                     break
         if provider < 0:
-            taken = provider_pred = alt_pred = \
-                self.base[pc2 % self.base_entries] >= 2
+            base_ctr = self.base[pc2 % self.base_entries]
+            taken = provider_pred = alt_pred = base_ctr >= 2
+            # Map the 2-bit base counter onto the 3-bit provider range
+            # so confidence consumers see one weak region (3, 4).
+            provider_ctr = (0, 3, 4, 7)[base_ctr]
         else:
-            provider_pred = provider_entry.ctr >= 4
+            provider_ctr = provider_entry.ctr
+            provider_pred = provider_ctr >= 4
             alt_pred = (alt_entry.ctr >= 4 if alt >= 0
                         else self.base[pc2 % self.base_entries] >= 2)
             taken = provider_pred
-            if provider_entry.useful == 0 and provider_entry.ctr in (3, 4) \
+            if provider_entry.useful == 0 and provider_ctr in (3, 4) \
                     and self.use_alt_on_na >= 8:
                 taken = alt_pred
-        return taken, (provider, alt, provider_pred, alt_pred)
+        return taken, (provider, alt, provider_pred, alt_pred,
+                       provider_ctr)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -170,7 +175,7 @@ class TagePredictor(BranchPredictor):
 
     def update(self, pc, taken, meta):
         history = meta.history
-        provider, alt, provider_pred, alt_pred = meta.extra
+        provider, alt, provider_pred, alt_pred = meta.extra[:4]
         mispredicted = meta.pred_taken != taken
 
         # use_alt_on_na training: when the provider was weak and provider

@@ -16,6 +16,7 @@ Reproduce single points (or small sweeps) without pytest::
     python -m repro.harness simpoints --workload bfs --interval 2000
     python -m repro.harness perf --out BENCH_PIPELINE.json
     python -m repro.harness perf --quick --check BENCH_PIPELINE.json
+    python -m repro.harness brchar --check
     python -m repro.harness list
     python -m repro.harness cache --clear
     python -m repro.harness cache prune --max-age-days 30
@@ -150,6 +151,19 @@ def _build_parser():
     perf.add_argument("--profile-out", default=None, metavar="DIR",
                       help="also cProfile each point into "
                            "DIR/<point>.pstats")
+
+    brchar = sub.add_parser(
+        "brchar", help="characterize the branch predictors against the "
+                       "synthetic probe matrix")
+    brchar.add_argument("--trace-len", type=int, default=20000,
+                        help="branches per probe trace (default: 20000)")
+    brchar.add_argument("--check", action="store_true",
+                        help="assert the predictor signatures (TAGE "
+                             "history length, loop exit, SC bias, tag "
+                             "aliasing); non-zero exit on failure")
+    brchar.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the matrix (and check results) as "
+                             "JSON")
 
     lst = sub.add_parser("list", help="list registered workloads")
     lst.add_argument("--suite", help="restrict to one suite")
@@ -564,6 +578,34 @@ def _cmd_list(args, out):
     return 0
 
 
+def _cmd_brchar(args, out):
+    from repro.workloads.brchar.driver import (characterization_table,
+                                               signature_checks)
+    rows = characterization_table(n=args.trace_len)
+    checks = signature_checks(rows) if args.check else []
+    if args.as_json:
+        payload = {"trace_len": args.trace_len, "matrix": rows}
+        if args.check:
+            payload["checks"] = [
+                {"name": name, "passed": passed, "detail": detail}
+                for name, passed, detail in checks]
+        json.dump(payload, out, indent=2)
+        out.write("\n")
+    else:
+        out.write("%-10s %-9s %10s %10s %8s\n"
+                  % ("probe", "predictor", "branches", "mispred", "mpb"))
+        for row in rows:
+            out.write("%-10s %-9s %10d %10d %8.4f\n"
+                      % (row["probe"], row["predictor"], row["branches"],
+                         row["mispredicts"], row["mpb"]))
+        for name, passed, detail in checks:
+            out.write("check %-20s %s  (%s)\n"
+                      % (name, "PASS" if passed else "FAIL", detail))
+    if any(not passed for _name, passed, _detail in checks):
+        return 1
+    return 0
+
+
 def _cmd_cache(args, out):
     from repro.sampling.checkpoint import CheckpointStore
 
@@ -613,6 +655,8 @@ def main(argv=None, out=None):
         return _cmd_simpoints(args, out)
     if args.command == "perf":
         return _cmd_perf(args, out)
+    if args.command == "brchar":
+        return _cmd_brchar(args, out)
     if args.command == "list":
         return _cmd_list(args, out)
     return _cmd_cache(args, out)

@@ -21,6 +21,8 @@ event objects are built, and hot stages guard emission with a single
 from repro.obs.events import (
     CommitEvent,
     FetchEvent,
+    FetchStallEvent,
+    FtqEnqueueEvent,
     IntervalEvent,
     IssueEvent,
     ReconvergeEvent,
@@ -82,6 +84,21 @@ class Observability:
     # ------------------------------------------------------------------
     # Counter-bearing helpers (always called; events only when enabled)
     # ------------------------------------------------------------------
+    def ftq_enqueue(self, block, occupancy):
+        self.stats.ftq_enqueues += 1
+        if self.enabled:
+            self.emit(FtqEnqueueEvent(self.cycle, block.block_id,
+                                      block.start_pc, block.pred_next_pc,
+                                      occupancy))
+
+    def fetch_stall(self, reason):
+        stats = self.stats
+        stats.fetch_stalls += 1
+        stats.fetch_stall_reasons[reason] = \
+            stats.fetch_stall_reasons.get(reason, 0) + 1
+        if self.enabled:
+            self.emit(FetchStallEvent(self.cycle, reason))
+
     def fetch_block(self, block):
         self.stats.fetched_insts += block.num_insts
         if self.enabled:

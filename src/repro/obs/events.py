@@ -33,6 +33,37 @@ class Event:
         return "<%s %s>" % (self.etype, fields)
 
 
+class FtqEnqueueEvent(Event):
+    """The BPU appended one predicted block to the fetch target queue
+    (decoupled frontend only). ``occupancy`` counts undelivered FTQ
+    entries *after* this enqueue (the BPU's run-ahead distance)."""
+
+    __slots__ = ("cycle", "block_id", "start_pc", "pred_next_pc",
+                 "occupancy")
+    etype = "ftq-enqueue"
+
+    def __init__(self, cycle, block_id, start_pc, pred_next_pc, occupancy):
+        self.cycle = cycle
+        self.block_id = block_id
+        self.start_pc = start_pc
+        self.pred_next_pc = pred_next_pc
+        self.occupancy = occupancy
+
+
+class FetchStallEvent(Event):
+    """The fetch stage could not deliver a block this cycle (decoupled
+    frontend only). ``reason`` is ``ftq-empty`` (BPU starvation),
+    ``redirect`` (within the post-squash redirect bubble) or ``icache``
+    (the FTQ head has not aged ``fetch_latency`` cycles yet)."""
+
+    __slots__ = ("cycle", "reason")
+    etype = "fetch-stall"
+
+    def __init__(self, cycle, reason):
+        self.cycle = cycle
+        self.reason = reason
+
+
 class FetchEvent(Event):
     """One prediction block entered the pipeline.
 
@@ -224,9 +255,9 @@ class IntervalEvent(Event):
 
 
 #: Every concrete event class, in pipeline order (trace documentation).
-EVENT_TYPES = (FetchEvent, RenameEvent, IssueEvent, WritebackEvent,
-               CommitEvent, SquashEvent, ReconvergeEvent,
-               ReuseAttemptEvent, IntervalEvent)
+EVENT_TYPES = (FtqEnqueueEvent, FetchStallEvent, FetchEvent, RenameEvent,
+               IssueEvent, WritebackEvent, CommitEvent, SquashEvent,
+               ReconvergeEvent, ReuseAttemptEvent, IntervalEvent)
 
 
 def format_event(event):

@@ -18,6 +18,8 @@ import json
 from repro.obs.events import (
     CommitEvent,
     FetchEvent,
+    FetchStallEvent,
+    FtqEnqueueEvent,
     IssueEvent,
     ReconvergeEvent,
     RenameEvent,
@@ -191,7 +193,8 @@ class MetricsSink(Sink):
         "branch_squashes", "squashed_insts", "reuse_tests",
         "reuse_successes", "reused_loads", "reconvergences",
         "reconv_simple", "reconv_software", "reconv_hardware",
-        "stream_distance_hist",
+        "stream_distance_hist", "ftq_enqueues", "fetch_stalls",
+        "fetch_stall_reasons",
     )
 
     def __init__(self):
@@ -212,6 +215,12 @@ class MetricsSink(Sink):
                     stats.indirect_mispredicts += 1
         elif kind is FetchEvent:
             stats.fetched_insts += len(event.insts)
+        elif kind is FtqEnqueueEvent:
+            stats.ftq_enqueues += 1
+        elif kind is FetchStallEvent:
+            stats.fetch_stalls += 1
+            stats.fetch_stall_reasons[event.reason] = \
+                stats.fetch_stall_reasons.get(event.reason, 0) + 1
         elif kind is SquashEvent:
             if event.kind == "branch":
                 stats.branch_squashes += 1

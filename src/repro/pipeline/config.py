@@ -73,6 +73,35 @@ class RIConfig:
 
 
 @dataclasses.dataclass
+class FrontendConfig:
+    """Decoupled-frontend parameters (the ``frontend.*`` config section).
+
+    With ``decoupled=False`` (the default) the branch-prediction unit
+    and the fetch stage run fused in one cycle, exactly reproducing the
+    original single-stage fetch path. With ``decoupled=True`` the BPU
+    runs ahead filling a bounded FTQ and the fetch stage drains it with
+    a ``fetch_latency``-cycle fetch-to-decode delay, so FTQ occupancy,
+    redirect bubbles and frontend starvation become visible effects.
+    """
+
+    #: Run the branch-prediction unit decoupled from the fetch stage.
+    decoupled: bool = False
+    #: Bounded FTQ capacity (prediction blocks the BPU may run ahead).
+    ftq_depth: int = 16
+    #: Cycles between a block's FTQ enqueue and its earliest delivery
+    #: to decode (models the icache access of the fetch pipeline).
+    fetch_latency: int = 2
+    #: Prediction blocks the BPU appends to the FTQ per cycle.
+    bpu_blocks_per_cycle: int = 1
+
+    def __post_init__(self):
+        _check_positive(self, "ftq_depth", "bpu_blocks_per_cycle")
+        if self.fetch_latency < 0:
+            raise ValueError("fetch_latency must be >= 0, got %r"
+                             % self.fetch_latency)
+
+
+@dataclasses.dataclass
 class CoreConfig:
     """Out-of-order core parameters."""
 
@@ -88,6 +117,9 @@ class CoreConfig:
     btb_sets: int = 512
     btb_assoc: int = 4
     ras_depth: int = 32
+    #: Decoupled-frontend section (the ``frontend.*`` config keys).
+    frontend: FrontendConfig = dataclasses.field(
+        default_factory=FrontendConfig)
 
     # Backend
     width: int = 8                    # decode/rename/commit width
@@ -127,6 +159,8 @@ class CoreConfig:
     def __post_init__(self):
         if self.mssr is not None and self.ri is not None:
             raise ValueError("enable at most one reuse scheme")
+        if isinstance(self.frontend, dict):
+            self.frontend = FrontendConfig(**self.frontend)
         if self.num_phys_regs < 32 + self.width:
             raise ValueError("too few physical registers")
         _check_choice("predictor", self.predictor, PREDICTOR_KINDS)

@@ -143,7 +143,8 @@ class O3Core:
         self.btb = BranchTargetBuffer(cfg.btb_sets, cfg.btb_assoc)
         self.ras = ReturnAddressStack(cfg.ras_depth)
         self.fetch = FetchUnit(program, self.predictor, self.btb, self.ras,
-                               block_insts=cfg.fetch_block_insts)
+                               block_insts=cfg.fetch_block_insts,
+                               frontend=cfg.frontend, obs=self.obs)
 
         self.int_iq = IssueQueue("int", cfg.int_iq_entries)
         self.mem_iq = IssueQueue("mem", cfg.mem_iq_entries)
@@ -693,6 +694,9 @@ class O3Core:
     # ------------------------------------------------------------------
     def _fetch_stage(self):
         cfg = self.config
+        # Decoupled mode: the BPU runs ahead into the FTQ regardless of
+        # decode backpressure (no-op when fused).
+        self.fetch.tick(self.cycle)
         for _ in range(cfg.fetch_blocks_per_cycle):
             if len(self.decode_queue) + cfg.fetch_block_insts \
                     > cfg.decode_queue:
@@ -717,14 +721,16 @@ class O3Core:
         squashed = []
         while self.rob and self.rob[-1].seq > boundary:
             squashed.append(self.rob.pop())
-        # 2. Drop not-yet-renamed instructions from the decode queue.
-        dropped_seqs = []
-        collect_dropped = self.obs.enabled
+        # 2. Drop not-yet-renamed instructions from the decode queue
+        #    (kept for frontend repair: their speculative predictor
+        #    advances still need unwinding).
+        dropped_dyns = []
         while self.decode_queue and self.decode_queue[-1].seq > boundary:
             dropped = self.decode_queue.pop()
             dropped.squashed = True
-            if collect_dropped:
-                dropped_seqs.append(dropped.seq)
+            dropped_dyns.append(dropped)
+        dropped_seqs = [dyn.seq for dyn in dropped_dyns] \
+            if self.obs.enabled else []
         # 3. Roll the RAT back, youngest first.
         for dyn in squashed:
             dyn.squashed = True
@@ -763,12 +769,26 @@ class O3Core:
         self.mem_iq.remove_squashed()
 
         # 7. Repair predictor history and RAS.
-        self._repair_frontend(request, squashed_oldest_first)
+        self._repair_frontend(request, squashed_oldest_first, dropped_dyns)
 
         # 8. Redirect fetch.
-        self.fetch.redirect(request.redirect_pc)
+        self.fetch.redirect(request.redirect_pc, cycle=self.cycle)
 
-    def _repair_frontend(self, request, squashed_oldest_first):
+    def _repair_frontend(self, request, squashed_oldest_first,
+                         dropped_newest_first=()):
+        # Unwind per-prediction speculative state (loop iteration
+        # counts) of every squashed prediction, youngest first:
+        # decode-queue drops are younger than ROB-squashed instructions
+        # (the fetch unit has already unwound flushed FTQ entries,
+        # which are younger still).
+        unwind = getattr(self.predictor, "unwind", None)
+        if unwind is not None:
+            for dyn in dropped_newest_first:
+                if dyn.bp_meta is not None:
+                    unwind(dyn.bp_meta)
+            for dyn in reversed(squashed_oldest_first):
+                if dyn.bp_meta is not None:
+                    unwind(dyn.bp_meta)
         trigger = request.trigger
         if request.kind == "branch" and trigger.inst.is_cond_branch \
                 and trigger.bp_meta is not None:

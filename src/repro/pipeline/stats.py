@@ -24,6 +24,11 @@ class SimStats:
         self.fetched_insts = 0
         self.squashed_insts = 0
 
+        # Decoupled frontend (zero when frontend.decoupled is off)
+        self.ftq_enqueues = 0
+        self.fetch_stalls = 0
+        self.fetch_stall_reasons = {}
+
         self.cond_branches = 0
         self.cond_mispredicts = 0
         self.indirect_branches = 0
@@ -85,6 +90,8 @@ class SimStats:
         for name, value in vars(self).items():
             if name == "stream_distance_hist":
                 value = {int(k): int(v) for k, v in value.items()}
+            elif name == "fetch_stall_reasons":
+                value = dict(value)
             elif isinstance(value, list):
                 value = list(value)
             data[name] = value

@@ -1,0 +1,155 @@
+"""Branch-predictor characterization pack (``brchar`` suite).
+
+Generated microbenchmarks that probe one predictor mechanism each, in
+the style of black-box branch-predictor dissections (Chen et al.): the
+probe's control behaviour is constructed so that exactly one component
+of the frontend can (or cannot) capture it, and the misprediction
+signature identifies which predictor the core is really running.
+
+Two layers share the probe definitions:
+
+* **Compiled workloads** (this module): real programs registered in the
+  ``brchar`` suite, run through the full core — these are what the CI
+  smoke step and ``harness sweep`` consume.
+* **Direct driver** (:mod:`repro.workloads.brchar.driver`): feeds
+  synthetic branch traces straight into a predictor instance — fast
+  enough to sweep probe parameters and scaled-down table geometries
+  (aliasing probes) without simulating a pipeline.
+
+The probes:
+
+``brchar-hist8``
+    Inner loop with trip count 8: its closing branch needs only 8 bits
+    of history, in reach of every history-based predictor (control).
+``brchar-hist48``
+    Trip count 48: beyond gshare's 12-bit history, comfortably inside
+    TAGE's geometric table reach (max_history 128). gshare mispredicts
+    every exit; TAGE eliminates them — the history-length signature.
+``brchar-loop160``
+    Trip count 160: beyond even TAGE's longest history table, but a
+    trivially countable loop. Only the loop predictor (the L in
+    TAGE-SC-L) eliminates the exit mispredict — the loop signature.
+``brchar-scbias``
+    A hash-driven, history-uncorrelated branch taken ~90% of the time:
+    tagged history entries are pure noise here, and the statistical
+    corrector's bias-tracking veto is what recovers the base rate.
+``brchar-alias``
+    Many statically distinct, oppositely-biased branches: destructive
+    aliasing in untagged counter tables, which TAGE's tags avoid (the
+    table-aliasing signature; sharpest via the driver's scaled-down
+    geometries).
+"""
+
+from repro.compiler import Module, array_ref, hash64
+from repro.workloads.registry import register
+
+
+def brchar_hist8_kernel(arr, n):
+    acc = 0
+    for i in range(n):
+        s = 0
+        for j in range(8):
+            s = s + j
+        arr[i & 7] = s
+        acc = acc + s
+    return acc & 0xFFFFFF
+
+
+def brchar_hist48_kernel(arr, n):
+    acc = 0
+    for i in range(n):
+        s = 0
+        for j in range(48):
+            s = s + j
+        arr[i & 7] = s
+        acc = acc + s
+    return acc & 0xFFFFFF
+
+
+def brchar_loop160_kernel(arr, n):
+    acc = 0
+    for i in range(n):
+        s = 0
+        for j in range(160):
+            s = s + j
+        arr[i & 7] = s
+        acc = acc + s
+    return acc & 0xFFFFFF
+
+
+def brchar_scbias_kernel(arr, n):
+    acc = 0
+    for i in range(n):
+        h = hash64(i)
+        if (h & 1023) < 921:
+            acc = acc + 3
+        else:
+            acc = acc + 1
+        arr[i & 15] = acc
+    return acc & 0xFFFFFF
+
+
+def brchar_alias_kernel(arr, n):
+    acc = 0
+    for i in range(n):
+        h = hash64(i)
+        # Eight statically distinct branch sites with alternating
+        # strong biases (~94% taken vs ~6% taken) — opposite biases
+        # that collide destructively in untagged counter tables.
+        if (h >> 0) & 15:
+            acc = acc + 1
+        if ((h >> 4) & 15) == 0:
+            acc = acc + 2
+        if (h >> 8) & 15:
+            acc = acc + 3
+        if ((h >> 12) & 15) == 0:
+            acc = acc + 4
+        if (h >> 16) & 15:
+            acc = acc + 5
+        if ((h >> 20) & 15) == 0:
+            acc = acc + 6
+        if (h >> 24) & 15:
+            acc = acc + 7
+        if ((h >> 28) & 15) == 0:
+            acc = acc + 8
+        arr[i & 7] = acc
+    return acc & 0xFFFFFF
+
+
+def _build(kernel, scale, iterations):
+    mod = Module()
+    mod.add_function(kernel)
+    mod.array("arr", 16)
+    n = max(8, int(iterations * scale))
+    prog = mod.build(kernel.__name__, [array_ref("arr"), n])
+    return mod, prog
+
+
+@register("brchar-hist8", "brchar",
+          "trip-8 loop: in reach of every history predictor (control)")
+def build_hist8(scale=1.0):
+    return _build(brchar_hist8_kernel, scale, 400)
+
+
+@register("brchar-hist48", "brchar",
+          "trip-48 loop: beyond gshare's history, within TAGE's")
+def build_hist48(scale=1.0):
+    return _build(brchar_hist48_kernel, scale, 120)
+
+
+@register("brchar-loop160", "brchar",
+          "trip-160 loop: beyond TAGE history, loop-predictor territory")
+def build_loop160(scale=1.0):
+    return _build(brchar_loop160_kernel, scale, 48)
+
+
+@register("brchar-scbias", "brchar",
+          "history-uncorrelated 90%-taken branch (SC probe)")
+def build_scbias(scale=1.0):
+    return _build(brchar_scbias_kernel, scale, 1500)
+
+
+@register("brchar-alias", "brchar",
+          "oppositely-biased static branches (table-aliasing probe)")
+def build_alias(scale=1.0):
+    return _build(brchar_alias_kernel, scale, 400)

@@ -74,7 +74,8 @@ def unregister(name):
 
 def _ensure_loaded():
     # Import side effects populate the registry.
-    from repro.workloads import microbench, gap, spec2006, spec2017  # noqa
+    from repro.workloads import (brchar, gap, microbench,  # noqa
+                                 spec2006, spec2017)
 
 
 def get_workload(name):

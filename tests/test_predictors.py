@@ -118,3 +118,95 @@ def test_build_predictor_factory():
         pass
     else:
         raise AssertionError("expected ValueError")
+
+
+def test_loop_predictor_unwind_restores_spec_count():
+    loop = LoopPredictor(num_entries=16)
+    pc = 0x100
+    for _ in range(6):
+        for taken in [True] * 4 + [False]:
+            loop.update(pc, taken)
+    entry = loop._entry(pc)
+    base = entry.spec_count
+    _valid, _taken, ckpt1 = loop.predict_spec(pc)
+    _valid, _taken, ckpt2 = loop.predict_spec(pc)
+    assert entry.spec_count == base + 2
+    # Unwind youngest first: back to the pre-speculation count.
+    loop.unwind(ckpt2)
+    loop.unwind(ckpt1)
+    assert entry.spec_count == base
+    # A reallocated entry (tag mismatch) is left alone.
+    entry.tag = 0xDEAD
+    loop.unwind(ckpt1)
+    assert entry.spec_count == base
+
+
+def test_tage_scl_unwind_repairs_loop_speculation():
+    pred = TageSCL()
+    pc = 0x200
+    for _ in range(8):
+        for taken in [True] * 4 + [False]:
+            _t, meta = pred.predict(pc)
+            pred.recover(taken, meta) if _t != taken else None
+            pred.update(pc, taken, meta)
+    entry = pred.loop._entry(pc)
+    assert entry is not None and entry.confidence >= pred.loop.CONFIDENT
+    base = entry.spec_count
+    metas = []
+    for _ in range(3):
+        _taken, meta = pred.predict(pc)
+        metas.append(meta)
+    # Squash all three speculative iterations, youngest first.
+    for meta in reversed(metas):
+        pred.unwind(meta)
+    assert entry.spec_count == base
+
+
+def test_tage_scl_withloop_benches_losing_loop_predictor():
+    pred = TageSCL()
+    pred.withloop = 0
+    pc = 0x300
+    # Fabricate a confident loop entry that is *wrong* (trip=3 while the
+    # real behaviour is always-taken): withloop must go negative and the
+    # loop override stop applying.
+    idx = (pc >> 2) % pred.loop.num_entries
+    entry = pred.loop.entries[idx]
+    entry.tag = pc
+    entry.trip = 3
+    entry.confidence = 7
+    saw_override = False
+    for i in range(200):
+        taken, meta = pred.predict(pc)
+        loop_valid = meta.extra[4]
+        if loop_valid and pred.withloop >= 0 and not taken:
+            saw_override = True
+        if taken is not True:
+            pred.recover(True, meta)
+        pred.update(pc, True, meta)
+        entry.confidence = 7          # keep the bad entry "confident"
+        entry.trip = 3
+    assert saw_override               # it did try the loop override...
+    assert pred.withloop < 0          # ...and got benched for losing
+
+
+def test_statistical_corrector_vetoes_weak_tage_sooner():
+    sc = StatisticalCorrector(threshold=6)
+    pc, history = 0x400, 0b0110
+    # Build a moderate anti-TAGE sum: strong enough to override a weak
+    # provider, not a confident one.
+    for _ in range(4):
+        _u, _t, total = sc.predict(pc, history, True)
+        sc.update(pc, history, True, False, total)
+    use_strong, _t, total = sc.predict(pc, history, True, tage_weak=False)
+    use_weak, taken, _tot = sc.predict(pc, history, True, tage_weak=True)
+    assert abs(total) < sc.threshold          # below the confident bar
+    assert not use_strong
+    assert use_weak and taken is False
+
+
+def test_tage_meta_carries_provider_confidence():
+    pred = TagePredictor(num_tables=4, base_entries=256, table_entries=128)
+    _taken, extra = pred._lookup(0x500)
+    assert len(extra) == 5
+    provider_ctr = extra[4]
+    assert 0 <= provider_ctr <= 7

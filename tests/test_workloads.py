@@ -24,12 +24,14 @@ def test_workload_matches_native(name):
 
 
 def test_registry_contents():
-    assert set(SUITES) == {"micro", "gap", "spec2006", "spec2017"}
+    assert set(SUITES) == {"micro", "gap", "spec2006", "spec2017",
+                           "brchar"}
     assert len(SUITES["micro"]) == 2
     assert len(SUITES["gap"]) == 6
     assert len(SUITES["spec2006"]) == 6
     assert len(SUITES["spec2017"]) == 6
-    assert len(workload_names()) == 20
+    assert len(SUITES["brchar"]) == 5
+    assert len(workload_names()) == 25
 
 
 def test_registry_unknown_name():
