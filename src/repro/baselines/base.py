@@ -68,6 +68,12 @@ class ReuseScheme:
     def on_replay_squash(self, trigger):
         """A memory-order replay squash occurred (not reuse-eligible)."""
 
+    def on_wrong_path_block(self, block):
+        """FTQ-sourced capture: one squashed prediction block (delivered
+        or still pending), oldest first, during a branch squash. Only
+        wired when the scheme sets ``ftq_capture`` and the frontend is
+        decoupled; called *before* :meth:`on_branch_squash`."""
+
     # -- fetch/rename hooks --------------------------------------------------
     def on_fetch_block(self, block):
         """A new prediction block was fetched (MSSR reconvergence scan)."""

@@ -27,7 +27,7 @@ from repro.config import envreg
 #: a way that alters configuration hashes; folded into job specs and the
 #: harness cache fingerprint so results hashed under an older scheme are
 #: never misattributed to the new one.
-CONFIG_SCHEMA_VERSION = 2
+CONFIG_SCHEMA_VERSION = 3
 
 #: Model sections, in canonical order.
 MODEL_SECTIONS = ("core", "frontend", "mssr", "ri", "dir", "sampling")
@@ -152,6 +152,11 @@ _DOCS = {
         "decoupled fetch pipeline).",
     "frontend.bpu_blocks_per_cycle":
         "Prediction blocks the BPU appends to the FTQ per cycle.",
+    "frontend.icache_lines":
+        "Instruction-cache lines (64B, direct-mapped; power of two). "
+        "0 disables the icache model. Requires frontend.decoupled.",
+    "frontend.icache_latency":
+        "Extra block-delivery delay on an icache miss (cycles).",
     "core.width": "Decode/rename/commit width.",
     "core.rob_entries": "Reorder buffer entries.",
     "core.int_iq_entries": "Integer issue-queue entries.",
@@ -189,6 +194,10 @@ _DOCS = {
     "mssr.bloom_hashes": "Bloom filter hash functions.",
     "mssr.single_page_wpb":
         "Restrict each WPB stream to one virtual page (Section 3.4).",
+    "mssr.ftq_capture":
+        "Capture wrong-path WPB blocks at the FTQ on squash (including "
+        "undelivered blocks) instead of at decode time. Requires "
+        "frontend.decoupled.",
     "ri.num_sets": "Register Integration reuse-table sets.",
     "ri.assoc": "Register Integration reuse-table associativity.",
     "dir.num_sets": "Dynamic Instruction Reuse buffer sets.",

@@ -63,8 +63,8 @@ class PredictionBlock:
     """
 
     __slots__ = ("block_id", "start_pc", "end_pc", "insts", "pred_next_pc",
-                 "squashed", "pred_cycle", "delivered", "hist_snap",
-                 "ras_snap")
+                 "squashed", "pred_cycle", "ready_cycle", "delivered",
+                 "hist_snap", "ras_snap")
 
     def __init__(self, block_id, start_pc):
         self.block_id = block_id
@@ -74,6 +74,7 @@ class PredictionBlock:
         self.pred_next_pc = None
         self.squashed = False
         self.pred_cycle = 0
+        self.ready_cycle = 0      # earliest delivery cycle (icache model)
         self.delivered = False
         self.hist_snap = None
         self.ras_snap = None
@@ -102,17 +103,26 @@ class FetchUnit:
 
     ``frontend`` is a :class:`~repro.pipeline.config.FrontendConfig`
     (None = fused defaults); ``obs`` an optional
-    :class:`~repro.obs.bus.Observability` for FTQ/stall events.
+    :class:`~repro.obs.bus.Observability` for FTQ/stall events;
+    ``icache`` an optional
+    :class:`~repro.frontend.icache.InstructionCache` consulted per block
+    in decoupled mode (misses stretch the block's delivery latency).
+
+    ``wrong_path_sink``, when set (FTQ-sourced MSSR capture), receives
+    every squashed block — delivered and still-pending — at
+    branch-squash time, oldest first.
     """
 
     def __init__(self, program, predictor, btb, ras, block_insts=8,
-                 frontend=None, obs=None):
+                 frontend=None, obs=None, icache=None):
         self.program = program
         self.predictor = predictor
         self.btb = btb
         self.ras = ras
         self.block_insts = block_insts
         self.obs = obs
+        self.icache = icache
+        self.wrong_path_sink = None
         if frontend is None:
             from repro.pipeline.config import FrontendConfig
             frontend = FrontendConfig()
@@ -154,7 +164,8 @@ class FetchUnit:
             _log.debug("redirect to %#x leaves the code image; fetch "
                        "stalled until the next redirect", pc)
 
-    def squash_ftq_after(self, block_id, keep_partial_seq=None):
+    def squash_ftq_after(self, block_id, keep_partial_seq=None,
+                         capture=False):
         """Drop FTQ blocks younger than ``block_id``.
 
         Returns the squashed *delivered* blocks (oldest first) — the
@@ -165,8 +176,14 @@ class FetchUnit:
         flushed block's snapshot. ``keep_partial_seq`` trims
         instructions younger than the given seq from the boundary block
         without squashing the whole block.
+
+        With ``capture`` set (branch squashes) and a ``wrong_path_sink``
+        attached, every squashed block is pushed to the sink oldest
+        first: the delivered suffix (identical to what decode-time
+        capture sees), then the flushed still-pending blocks that never
+        reached decode — the extra coverage FTQ-sourced capture buys.
         """
-        self._flush_pending()
+        flushed = self._flush_pending()
         squashed = []
         kept = []
         for block in self.ftq:
@@ -191,6 +208,19 @@ class FetchUnit:
                 if trimmed:
                     boundary.end_pc = trimmed[-1].pc
                 squashed.insert(0, partial)
+        sink = self.wrong_path_sink
+        if capture and sink is not None:
+            obs = self.obs
+            for block in squashed:
+                if block.num_insts:
+                    if obs is not None:
+                        obs.wrong_path_capture(block, pending=False)
+                    sink(block)
+            for block in flushed:
+                if block.num_insts:
+                    if obs is not None:
+                        obs.wrong_path_capture(block, pending=True)
+                    sink(block)
         return squashed
 
     def retire_block(self, block_id):
@@ -201,10 +231,11 @@ class FetchUnit:
         """Flush undelivered FTQ entries, unwinding speculative
         predictor state (loop iteration counts, history, RAS) that
         their predictions advanced. Pending blocks are the youngest
-        speculation in the machine, so they unwind first."""
+        speculation in the machine, so they unwind first. Returns the
+        flushed blocks oldest first (for FTQ-sourced capture)."""
         pending = self.pending
         if not pending:
-            return
+            return []
         unwind = getattr(self.predictor, "unwind", None)
         if unwind is not None:
             for block in reversed(pending):
@@ -216,6 +247,7 @@ class FetchUnit:
             self.predictor.restore_history(oldest.hist_snap)
         if oldest.ras_snap is not None:
             self.ras.restore(oldest.ras_snap)
+        flushed = list(pending)
         live = set()
         for block in pending:
             block.squashed = True
@@ -223,6 +255,7 @@ class FetchUnit:
         pending.clear()
         if live:
             self.ftq = [b for b in self.ftq if b.block_id not in live]
+        return flushed
 
     # ------------------------------------------------------------------
     def tick(self, cycle):
@@ -267,7 +300,7 @@ class FetchUnit:
                 self.obs.fetch_stall(reason)
             return None
         head = pending[0]
-        if head.pred_cycle + self.fetch_latency > cycle:
+        if head.ready_cycle > cycle:
             # Refill latency right after a squash is the redirect
             # bubble, not an ordinary icache-pipeline stall.
             reason = STALL_REDIRECT if in_redirect_bubble \
@@ -329,6 +362,12 @@ class FetchUnit:
             # Block filled to the fetch limit: fall through.
             next_pc = pc
         block.pred_next_pc = next_pc
+        # The block can leave the fetch pipeline ``fetch_latency``
+        # cycles after prediction; an icache miss stretches that.
+        block.ready_cycle = cycle + self.fetch_latency
+        if self.icache is not None and insts:
+            block.ready_cycle += self.icache.access(block.start_pc,
+                                                    block.end_pc)
 
         if next_pc is None:
             self.stalled = True

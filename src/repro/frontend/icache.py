@@ -1,0 +1,67 @@
+"""Instruction-cache latency model for the decoupled fetch pipeline.
+
+A deliberately small model: a direct-mapped cache of ``lines`` 64-byte
+lines over the code image. The fetch pipeline looks up one prediction
+block per access (:meth:`InstructionCache.access`); if every line the
+block spans is resident the access is a hit and costs nothing beyond the
+baseline ``frontend.fetch_latency``, otherwise the missing lines are
+filled and the block's delivery is delayed by ``miss_latency`` extra
+cycles. Wrong-path fetches probe and fill the cache exactly like
+correct-path ones — wrong-path prefetch warming the icache is a real
+(and here faithfully modelled) side effect of deep speculation.
+
+The model is off by default (``frontend.icache_lines = 0`` builds no
+cache at all), so default-config runs are bit-identical with or without
+this module.
+"""
+
+#: Line size in bytes (fixed; 16 four-byte instructions).
+LINE_BYTES = 64
+_LINE_SHIFT = 6
+
+
+class InstructionCache:
+    """Direct-mapped icache: tag array only (contents come from the
+    program image; only presence/latency is modelled).
+
+    ``lines`` must be a power of two; ``miss_latency`` is the extra
+    delay charged when an access misses. ``obs`` is the run's
+    :class:`~repro.obs.bus.Observability` bus (every access emits an
+    ``icache-access`` event and maintains the ``icache_accesses`` /
+    ``icache_misses`` counters).
+    """
+
+    __slots__ = ("lines", "miss_latency", "obs", "tags", "_index_mask")
+
+    def __init__(self, lines, miss_latency, obs=None):
+        if lines <= 0 or lines & (lines - 1):
+            raise ValueError("icache lines must be a power of two, got %r"
+                             % (lines,))
+        self.lines = lines
+        self.miss_latency = miss_latency
+        self.obs = obs
+        self.tags = [None] * lines
+        self._index_mask = lines - 1
+
+    def access(self, start_pc, end_pc):
+        """Probe every line in ``[start_pc, end_pc]``; returns the extra
+        delay (0 on a full hit, ``miss_latency`` otherwise). Missing
+        lines are filled."""
+        tags = self.tags
+        mask = self._index_mask
+        first = start_pc >> _LINE_SHIFT
+        last = end_pc >> _LINE_SHIFT
+        hit = True
+        for line in range(first, last + 1):
+            idx = line & mask
+            if tags[idx] != line:
+                tags[idx] = line
+                hit = False
+        delay = 0 if hit else self.miss_latency
+        if self.obs is not None:
+            self.obs.icache_access(start_pc, end_pc, hit, delay)
+        return delay
+
+    def flush(self):
+        """Invalidate every line (testing hook)."""
+        self.tags = [None] * self.lines

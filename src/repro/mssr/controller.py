@@ -53,6 +53,11 @@ class MSSRController(ReuseScheme):
         self.log = SquashLog(config.num_streams, config.squash_log_entries)
         self.bloom = BloomFilter(config.bloom_bits, config.bloom_hashes) \
             if config.memory_hazard_scheme == "bloom" else None
+        #: Capture WPB ranges at the FTQ (squash-time, incl. undelivered
+        #: blocks) instead of from the delivered blocks alone. The core
+        #: wires the fetch unit's wrong_path_sink to us when set.
+        self.ftq_capture = config.ftq_capture
+        self._ftq_blocks = []       # pc ranges pushed by the fetch unit
 
         self._squash_events = 0
         self._lockstep = None
@@ -64,7 +69,16 @@ class MSSRController(ReuseScheme):
     # ------------------------------------------------------------------
     # Squash-time population
     # ------------------------------------------------------------------
+    def on_wrong_path_block(self, block):
+        # FTQ-sourced capture: the fetch unit pushes every squashed
+        # block (delivered suffix first, then flushed pending blocks)
+        # during squash_ftq_after, which runs just before
+        # on_branch_squash consumes the buffer.
+        self._ftq_blocks.append(block.pc_range())
+
     def on_branch_squash(self, trigger, squashed, squashed_blocks):
+        captured_ranges = self._ftq_blocks
+        self._ftq_blocks = []
         self._end_lockstep(diverged=False)
         self._squash_events += 1
         self._last_trigger_seq = trigger.seq
@@ -80,8 +94,14 @@ class MSSRController(ReuseScheme):
         victim = self.wpb.next_victim()
         self._invalidate_stream(victim)
 
-        block_ranges = [blk.pc_range() for blk in squashed_blocks
-                        if blk.num_insts]
+        if self.ftq_capture:
+            # Delivered blocks lead the list, so the WPB fill (capped at
+            # M entries, oldest first) covers at least what decode-time
+            # capture would have seen; pending blocks use spare capacity.
+            block_ranges = captured_ranges
+        else:
+            block_ranges = [blk.pc_range() for blk in squashed_blocks
+                            if blk.num_insts]
         idx = self.wpb.allocate(block_ranges, self._squash_events,
                                 trigger.seq)
         stream = self.log.fill(idx, renamed, self._squash_events)
@@ -106,6 +126,7 @@ class MSSRController(ReuseScheme):
     def on_replay_squash(self, trigger):
         # Memory-order replays refetch the same path; the redirect still
         # terminates any in-flight lockstep.
+        self._ftq_blocks = []
         self._end_lockstep(diverged=False)
 
     # ------------------------------------------------------------------

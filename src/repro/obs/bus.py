@@ -23,6 +23,7 @@ from repro.obs.events import (
     FetchEvent,
     FetchStallEvent,
     FtqEnqueueEvent,
+    IcacheAccessEvent,
     IntervalEvent,
     IssueEvent,
     ReconvergeEvent,
@@ -30,6 +31,7 @@ from repro.obs.events import (
     ReuseAttemptEvent,
     SquashEvent,
     WritebackEvent,
+    WrongPathCaptureEvent,
 )
 from repro.pipeline.stats import SimStats
 
@@ -98,6 +100,22 @@ class Observability:
             stats.fetch_stall_reasons.get(reason, 0) + 1
         if self.enabled:
             self.emit(FetchStallEvent(self.cycle, reason))
+
+    def icache_access(self, start_pc, end_pc, hit, delay):
+        stats = self.stats
+        stats.icache_accesses += 1
+        if not hit:
+            stats.icache_misses += 1
+        if self.enabled:
+            self.emit(IcacheAccessEvent(self.cycle, start_pc, end_pc, hit,
+                                        delay))
+
+    def wrong_path_capture(self, block, pending):
+        self.stats.wpb_captures_ftq += 1
+        if self.enabled:
+            self.emit(WrongPathCaptureEvent(self.cycle, block.block_id,
+                                            block.start_pc, block.end_pc,
+                                            block.num_insts, pending))
 
     def fetch_block(self, block):
         self.stats.fetched_insts += block.num_insts

@@ -64,6 +64,43 @@ class FetchStallEvent(Event):
         self.reason = reason
 
 
+class IcacheAccessEvent(Event):
+    """The fetch pipeline looked one prediction block up in the
+    instruction cache (decoupled frontend with ``frontend.icache_lines``
+    set). ``hit`` is False when any line of the block missed; ``delay``
+    is the extra fetch latency charged (0 on a hit)."""
+
+    __slots__ = ("cycle", "start_pc", "end_pc", "hit", "delay")
+    etype = "icache-access"
+
+    def __init__(self, cycle, start_pc, end_pc, hit, delay):
+        self.cycle = cycle
+        self.start_pc = start_pc
+        self.end_pc = end_pc
+        self.hit = hit
+        self.delay = delay
+
+
+class WrongPathCaptureEvent(Event):
+    """FTQ-sourced MSSR capture handed one squashed prediction block to
+    the reuse scheme at branch-squash time (``mssr.ftq_capture``).
+    ``pending`` is True for blocks that were flushed before delivery —
+    wrong-path code decode-time capture never sees."""
+
+    __slots__ = ("cycle", "block_id", "start_pc", "end_pc", "num_insts",
+                 "pending")
+    etype = "wrong-path-capture"
+
+    def __init__(self, cycle, block_id, start_pc, end_pc, num_insts,
+                 pending):
+        self.cycle = cycle
+        self.block_id = block_id
+        self.start_pc = start_pc
+        self.end_pc = end_pc
+        self.num_insts = num_insts
+        self.pending = pending
+
+
 class FetchEvent(Event):
     """One prediction block entered the pipeline.
 
@@ -255,8 +292,9 @@ class IntervalEvent(Event):
 
 
 #: Every concrete event class, in pipeline order (trace documentation).
-EVENT_TYPES = (FtqEnqueueEvent, FetchStallEvent, FetchEvent, RenameEvent,
-               IssueEvent, WritebackEvent, CommitEvent, SquashEvent,
+EVENT_TYPES = (FtqEnqueueEvent, FetchStallEvent, IcacheAccessEvent,
+               FetchEvent, RenameEvent, IssueEvent, WritebackEvent,
+               CommitEvent, SquashEvent, WrongPathCaptureEvent,
                ReconvergeEvent, ReuseAttemptEvent, IntervalEvent)
 
 

@@ -20,12 +20,14 @@ from repro.obs.events import (
     FetchEvent,
     FetchStallEvent,
     FtqEnqueueEvent,
+    IcacheAccessEvent,
     IssueEvent,
     ReconvergeEvent,
     RenameEvent,
     ReuseAttemptEvent,
     SquashEvent,
     WritebackEvent,
+    WrongPathCaptureEvent,
     format_event,
 )
 from repro.pipeline.stats import SimStats
@@ -194,7 +196,8 @@ class MetricsSink(Sink):
         "reuse_successes", "reused_loads", "reconvergences",
         "reconv_simple", "reconv_software", "reconv_hardware",
         "stream_distance_hist", "ftq_enqueues", "fetch_stalls",
-        "fetch_stall_reasons",
+        "fetch_stall_reasons", "icache_accesses", "icache_misses",
+        "wpb_captures_ftq",
     )
 
     def __init__(self):
@@ -221,6 +224,12 @@ class MetricsSink(Sink):
             stats.fetch_stalls += 1
             stats.fetch_stall_reasons[event.reason] = \
                 stats.fetch_stall_reasons.get(event.reason, 0) + 1
+        elif kind is IcacheAccessEvent:
+            stats.icache_accesses += 1
+            if not event.hit:
+                stats.icache_misses += 1
+        elif kind is WrongPathCaptureEvent:
+            stats.wpb_captures_ftq += 1
         elif kind is SquashEvent:
             if event.kind == "branch":
                 stats.branch_squashes += 1

@@ -51,6 +51,11 @@ class MSSRConfig:
     #: Restrict each WPB stream to one virtual page (Section 3.4 timing
     #: optimisation). Reconvergence beyond the page is then not detected.
     single_page_wpb: bool = False
+    #: Capture wrong-path blocks for the WPBs at the FTQ on squash
+    #: (decoupled frontend), instead of at decode time. Also captures
+    #: predicted-but-undelivered blocks, so coverage is a superset of
+    #: decode-time capture. Requires ``frontend.decoupled``.
+    ftq_capture: bool = False
 
     def __post_init__(self):
         _check_choice("memory_hazard_scheme", self.memory_hazard_scheme,
@@ -93,12 +98,31 @@ class FrontendConfig:
     fetch_latency: int = 2
     #: Prediction blocks the BPU appends to the FTQ per cycle.
     bpu_blocks_per_cycle: int = 1
+    #: Instruction-cache lines (64B each; direct-mapped). 0 disables
+    #: the icache model entirely. Requires ``decoupled``.
+    icache_lines: int = 0
+    #: Extra delivery delay (cycles) charged on an icache miss.
+    icache_latency: int = 8
 
     def __post_init__(self):
         _check_positive(self, "ftq_depth", "bpu_blocks_per_cycle")
         if self.fetch_latency < 0:
             raise ValueError("fetch_latency must be >= 0, got %r"
                              % self.fetch_latency)
+        if self.icache_lines < 0:
+            raise ValueError("icache_lines must be >= 0, got %r"
+                             % self.icache_lines)
+        if self.icache_lines and self.icache_lines \
+                & (self.icache_lines - 1):
+            raise ValueError("icache_lines must be a power of two, got %d"
+                             % self.icache_lines)
+        if self.icache_latency < 0:
+            raise ValueError("icache_latency must be >= 0, got %r"
+                             % self.icache_latency)
+        if self.icache_lines and not self.decoupled:
+            raise ValueError("frontend.icache_lines requires "
+                             "frontend.decoupled (the icache models the "
+                             "fetch pipeline the fused frontend elides)")
 
 
 @dataclasses.dataclass
@@ -176,6 +200,12 @@ class CoreConfig:
         if self.btb_sets & (self.btb_sets - 1):
             raise ValueError("btb_sets must be a power of two, got %d"
                              % self.btb_sets)
+        if self.mssr is not None and self.mssr.ftq_capture \
+                and not self.frontend.decoupled:
+            raise ValueError("mssr.ftq_capture requires "
+                             "frontend.decoupled (the fused frontend has "
+                             "no FTQ to capture from; decode-time capture "
+                             "is its fallback)")
 
 
 def baseline_config(**overrides):

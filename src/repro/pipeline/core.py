@@ -8,9 +8,13 @@ registers, multiple outstanding squashed streams, out-of-order branch
 resolution producing the paper's *hardware-induced* multi-stream
 reconvergence).
 
-Stage processing order within a cycle is commit -> writeback -> issue ->
-rename/dispatch -> fetch, with squashes applied at cycle end; a
-single-cycle producer wakes its consumer back-to-back.
+:class:`O3Core` is a facade: the per-stage policy lives in the stage
+objects of :mod:`repro.pipeline.stages`, which communicate only through
+the typed latches in :mod:`repro.pipeline.latches` and the shared
+:class:`~repro.pipeline.latches.CoreState`. ``step()`` walks the stages
+in reverse pipeline order (commit -> writeback -> execute ->
+rename/dispatch -> fetch) so a single-cycle producer wakes its consumer
+back-to-back, then drains the squash arbiter at cycle end.
 """
 
 import collections
@@ -18,14 +22,9 @@ import collections
 from repro.baselines.base import NullScheme
 from repro.frontend.btb import BranchTargetBuffer
 from repro.frontend.fetch import FetchUnit
+from repro.frontend.icache import InstructionCache
 from repro.frontend.predictors import build_predictor
 from repro.frontend.ras import ReturnAddressStack
-from repro.frontend.tage_scl import TageSCL
-from repro.isa.instruction import INST_BYTES
-from repro.isa.opcodes import Op, OpClass
-from repro.isa.predecode import (KIND_ALU, KIND_BRANCH, KIND_DIV,
-                                 KIND_LOAD, KIND_NOP, KIND_STORE,
-                                 slowpath_enabled)
 from repro.isa.program import STACK_TOP
 from repro.isa.registers import NUM_ARCH_REGS, reg_num
 from repro.emu.memory import SparseMemory
@@ -33,11 +32,15 @@ from repro.log import get_logger
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.obs.bus import Observability
 from repro.pipeline.config import CoreConfig
+from repro.pipeline.latches import (CompletionQueue, CoreState, DecodeQueue,
+                                    SquashArbiter)
 from repro.pipeline.lsq import LoadStoreQueue
 from repro.pipeline.regfile import PhysRegFile
 from repro.pipeline.rename import RenameTable
 from repro.pipeline.scheduler import IssueQueue, FunctionUnits
-from repro.utils.bits import MASK64, sext32, wrap64, to_unsigned
+from repro.pipeline.stages import (CommitStage, ExecuteStage, FetchStage,
+                                   RenameDispatchStage, SquashUnit,
+                                   WritebackStage)
 
 _log = get_logger("pipeline.core")
 
@@ -84,23 +87,6 @@ class InitialState:
         self.mem_words = dict(mem_words or {})
 
 
-class _SquashRequest:
-    __slots__ = ("boundary_seq", "trigger", "kind", "redirect_pc")
-
-    def __init__(self, boundary_seq, trigger, kind, redirect_pc):
-        self.boundary_seq = boundary_seq
-        self.trigger = trigger
-        self.kind = kind           # "branch" | "replay" | "verify"
-        self.redirect_pc = redirect_pc
-
-
-def _sext32(value):
-    value &= 0xFFFFFFFF
-    if value & 0x80000000:
-        value |= ~0xFFFFFFFF & MASK64
-    return value
-
-
 class O3Core:
     """Out-of-order core simulator.
 
@@ -112,78 +98,134 @@ class O3Core:
 
     def __init__(self, program, config=None, reuse_scheme=None, obs=None,
                  init_state=None):
-        self.program = program
-        self.config = config or CoreConfig()
-        cfg = self.config
+        state = CoreState()
+        self.state = state
+        state.program = program
+        state.config = config or CoreConfig()
+        cfg = state.config
 
-        self.obs = obs if obs is not None else Observability()
-        self.stats = self.obs.stats
+        state.obs = obs if obs is not None else Observability()
+        state.stats = state.obs.stats
 
-        self.memory = SparseMemory(program.initial_memory())
-        self.hierarchy = MemoryHierarchy(
+        state.memory = SparseMemory(program.initial_memory())
+        state.hierarchy = MemoryHierarchy(
             l1_size=cfg.l1_size, l1_assoc=cfg.l1_assoc,
             l1_latency=cfg.l1_latency, l2_size=cfg.l2_size,
             l2_assoc=cfg.l2_assoc, l2_latency=cfg.l2_latency,
             dram_latency=cfg.dram_latency)
-        self.regfile = PhysRegFile(cfg.num_phys_regs, NUM_ARCH_REGS)
+        state.regfile = PhysRegFile(cfg.num_phys_regs, NUM_ARCH_REGS)
 
         scheme = reuse_scheme
         if scheme is None:
             scheme = self._build_scheme(cfg)
-        self.scheme = scheme
+        state.scheme = scheme
 
         track_rgids = getattr(scheme, "needs_rgids", False)
         rgid_bits = cfg.mssr.rgid_bits if cfg.mssr else 6
-        self.rat = RenameTable(self.regfile, rgid_bits=rgid_bits,
-                               track_rgids=track_rgids)
+        state.rat = RenameTable(state.regfile, rgid_bits=rgid_bits,
+                                track_rgids=track_rgids)
         # Initialise the stack pointer.
-        self.regfile.set_value(self.rat.lookup(2), STACK_TOP)
+        state.regfile.set_value(state.rat.lookup(2), STACK_TOP)
 
-        self.predictor = build_predictor(cfg.predictor)
-        self.btb = BranchTargetBuffer(cfg.btb_sets, cfg.btb_assoc)
-        self.ras = ReturnAddressStack(cfg.ras_depth)
-        self.fetch = FetchUnit(program, self.predictor, self.btb, self.ras,
-                               block_insts=cfg.fetch_block_insts,
-                               frontend=cfg.frontend, obs=self.obs)
+        state.predictor = build_predictor(cfg.predictor)
+        state.btb = BranchTargetBuffer(cfg.btb_sets, cfg.btb_assoc)
+        state.ras = ReturnAddressStack(cfg.ras_depth)
+        icache = None
+        if cfg.frontend is not None and cfg.frontend.icache_lines:
+            icache = InstructionCache(cfg.frontend.icache_lines,
+                                      cfg.frontend.icache_latency,
+                                      obs=state.obs)
+        state.fetch = FetchUnit(program, state.predictor, state.btb,
+                                state.ras, block_insts=cfg.fetch_block_insts,
+                                frontend=cfg.frontend, obs=state.obs,
+                                icache=icache)
 
-        self.int_iq = IssueQueue("int", cfg.int_iq_entries)
-        self.mem_iq = IssueQueue("mem", cfg.mem_iq_entries)
-        self.fus = FunctionUnits(cfg)
-        self.lsq = LoadStoreQueue(self.memory, cfg.lq_entries,
-                                  cfg.sq_entries)
+        state.int_iq = IssueQueue("int", cfg.int_iq_entries)
+        state.mem_iq = IssueQueue("mem", cfg.mem_iq_entries)
+        state.iqs = (state.int_iq, state.mem_iq)
+        state.fus = FunctionUnits(cfg)
+        state.lsq = LoadStoreQueue(state.memory, cfg.lq_entries,
+                                   cfg.sq_entries)
 
-        self.rob = collections.deque()
-        self.decode_queue = collections.deque()
-        self._events = {}            # cycle -> [DynInst]
-        self._squash_request = None
-        self.cycle = 0
-        self.halted = False
-        self._last_commit_cycle = 0
-        self._last_retired_block = -1
-        self._commit_limit = None    # committed-inst budget (run(max_insts=))
-        self._budget_stop = False    # halted by the budget, not `halt`
+        state.rob = collections.deque()
+        state.decode_queue = DecodeQueue(cfg.decode_queue)
+        state.completions = CompletionQueue()
+        state.squash_arbiter = SquashArbiter()
 
-        # Hot-path constants hoisted out of the per-cycle stages.
-        self._iqs = (self.int_iq, self.mem_iq)
-        self._width = cfg.width
-        self._rob_entries = cfg.rob_entries
-        self._frontend_stages = cfg.frontend_stages
-        # Execute latency indexed by PDInst.kind (branch/load handlers
-        # compute their own).
-        self._kind_latency = (
-            cfg.alu_latency, cfg.mul_latency, cfg.div_latency,
-            cfg.branch_latency, 0, cfg.store_latency,
-            cfg.alu_latency, cfg.alu_latency)
-        self._slow = slowpath_enabled()
-        if self._slow:
-            # Differential-testing escape hatch: dispatch execute through
-            # the original interpretive path.
-            self._execute_inst = self._execute_inst_slow
+        # Facade: re-expose the shared state under the historical names
+        # (reuse schemes and tests address the core, not CoreState).
+        self.program = program
+        self.config = cfg
+        self.obs = state.obs
+        self.stats = state.stats
+        self.memory = state.memory
+        self.hierarchy = state.hierarchy
+        self.regfile = state.regfile
+        self.scheme = scheme
+        self.rat = state.rat
+        self.predictor = state.predictor
+        self.btb = state.btb
+        self.ras = state.ras
+        self.fetch = state.fetch
+        self.int_iq = state.int_iq
+        self.mem_iq = state.mem_iq
+        self.fus = state.fus
+        self.lsq = state.lsq
+        self.rob = state.rob
+        self.decode_queue = state.decode_queue
 
         if init_state is not None:
             self._inject_state(init_state)
 
-        self.scheme.attach(self)
+        scheme.attach(self)
+
+        # FTQ-sourced wrong-path capture: once the scheme is attached,
+        # point the fetch unit's capture sink at its hook. Decode-time
+        # capture (the fused-mode fallback) needs no wiring — the squash
+        # unit already hands delivered blocks to on_branch_squash.
+        if getattr(scheme, "ftq_capture", False):
+            state.fetch.wrong_path_sink = scheme.on_wrong_path_block
+
+        self.commit_stage = CommitStage(state)
+        self.writeback_stage = WritebackStage(state)
+        self.execute_stage = ExecuteStage(state)
+        self.rename_stage = RenameDispatchStage(state)
+        self.fetch_stage = FetchStage(state)
+        self._stages = (self.commit_stage, self.writeback_stage,
+                        self.execute_stage, self.rename_stage,
+                        self.fetch_stage)
+        self._squash_unit = SquashUnit(state)
+
+    # ------------------------------------------------------------------
+    # Shared-state delegation
+    # ------------------------------------------------------------------
+    @property
+    def cycle(self):
+        return self.state.cycle
+
+    @cycle.setter
+    def cycle(self, value):
+        self.state.cycle = value
+
+    @property
+    def halted(self):
+        return self.state.halted
+
+    @halted.setter
+    def halted(self, value):
+        self.state.halted = value
+
+    def arch_regs(self):
+        """Current architectural register values via the RAT."""
+        return self.state.arch_regs()
+
+    def free_preg(self, preg):
+        """Release a physical register and notify the reuse scheme."""
+        self.state.free_preg(preg)
+
+    def free_reserved_preg(self, preg):
+        """Release a register previously reserved for a reuse scheme."""
+        self.state.free_preg(preg)
 
     def _inject_state(self, init_state):
         """Seed architectural state before cycle 0 (sampled simulation)."""
@@ -223,20 +265,21 @@ class O3Core:
         can run a discarded detailed-warmup slice and the measured
         interval back to back.
         """
-        self._commit_limit = self.stats.committed_insts + max_insts \
+        state = self.state
+        state.commit_limit = self.stats.committed_insts + max_insts \
             if max_insts is not None else None
-        if self._budget_stop:
-            self._budget_stop = False
-            self.halted = False
+        if state.budget_stop:
+            state.budget_stop = False
+            state.halted = False
         limit = max_cycles or self.config.max_cycles
-        while not self.halted:
-            if self.cycle >= limit:
+        while not state.halted:
+            if state.cycle >= limit:
                 raise self._sim_error(
                     "cycle budget exhausted (%d)" % limit)
-            if self.cycle - self._last_commit_cycle > 100_000:
+            if state.cycle - state.last_commit_cycle > 100_000:
                 raise self._sim_error(
                     "deadlock: no commit since cycle %d"
-                    % self._last_commit_cycle)
+                    % state.last_commit_cycle)
             self.step()
         self.scheme.finalize()
         return SimResult(self.arch_regs(), self.memory, self.stats)
@@ -253,559 +296,20 @@ class O3Core:
         return error
 
     def step(self):
-        """Advance one cycle."""
-        self.cycle += 1
-        self.stats.cycles = self.cycle
-        self.obs.cycle = self.cycle
-        self.fus.new_cycle(self.cycle)
-        self._commit_stage()
-        if self.halted:
-            return
-        self._writeback_stage()
-        self._execute_stage()
-        self._rename_stage()
-        self._fetch_stage()
-        if self._squash_request is not None:
-            self._apply_squash(self._squash_request)
-            self._squash_request = None
-        self.scheme.on_cycle(self.cycle)
-        if self._budget_stop:
-            self.halted = True
-
-    def arch_regs(self):
-        """Current architectural register values via the RAT."""
-        return [self.regfile.values[self.rat.lookup(a)] if a else 0
-                for a in range(NUM_ARCH_REGS)]
-
-    # ------------------------------------------------------------------
-    # Commit
-    # ------------------------------------------------------------------
-    def _commit_stage(self):
-        rob = self.rob
-        for _ in range(self._width):
-            if not rob:
+        """Advance one cycle: reverse-order stage walk, then squash."""
+        state = self.state
+        state.cycle += 1
+        cycle = state.cycle
+        state.stats.cycles = cycle
+        state.obs.cycle = cycle
+        state.fus.new_cycle(cycle)
+        for stage in self._stages:
+            stage.tick()
+            if state.halted:
                 return
-            head = rob[0]
-            if not head.completed or (head.verify_load and not head.executed):
-                return
-            rob.popleft()
-            head.committed = True
-            self._commit_inst(head)
-            self.obs.commit(head)
-            self._last_commit_cycle = self.cycle
-            if head.pd.is_halt:
-                self.halted = True
-                return
-            if self._commit_limit is not None \
-                    and self.stats.committed_insts >= self._commit_limit:
-                # Stop committing, but let the rest of this cycle's
-                # stages run before halting (step() raises the halt):
-                # completion events already scheduled for this cycle
-                # must drain, or a resumed run would deadlock on them.
-                self._budget_stop = True
-                return
-
-    def _commit_inst(self, head):
-        if head.is_store:
-            self.lsq.commit_store(head)
-        elif head.is_load:
-            self.lsq.commit_load(head)
-
-        if head.dest_preg is not None:
-            self.regfile.mark_arch(head.dest_preg)
-            if head.old_preg is not None:
-                self.free_preg(head.old_preg)
-
-        if head.is_branch:
-            self._train_branch(head)
-
-        if head.block_id - 1 > self._last_retired_block:
-            self.fetch.retire_block(head.block_id - 1)
-            self._last_retired_block = head.block_id - 1
-
-        self.scheme.on_commit(head)
-
-    def _train_branch(self, head):
-        pd = head.pd
-        taken = head.actual_npc != pd.next_pc
-        if pd.is_cond_branch:
-            self.obs.cond_branch(head.mispredicted)
-            if head.bp_meta is not None:
-                self.predictor.update(pd.pc, taken, head.bp_meta)
-        elif pd.is_indirect:
-            self.obs.indirect_branch(head.mispredicted)
-            self.btb.install(pd.pc, head.actual_npc)
-
-    def free_preg(self, preg):
-        """Release a physical register and notify the reuse scheme."""
-        self.regfile.free(preg)
-        self.scheme.on_preg_freed(preg)
-
-    def free_reserved_preg(self, preg):
-        """Release a register previously reserved for a reuse scheme."""
-        self.free_preg(preg)
-
-    # ------------------------------------------------------------------
-    # Writeback
-    # ------------------------------------------------------------------
-    def _writeback_stage(self):
-        done = self._events.pop(self.cycle, None)
-        if not done:
-            return
-        for dyn in done:
-            if dyn.squashed:
-                continue
-            self._writeback_inst(dyn)
-
-    def _writeback_inst(self, dyn):
-        dyn.executed = True
-        if self.obs.enabled:
-            self.obs.emit_writeback(dyn)
-        if dyn.verify_load:
-            # Value was already delivered at rename; this is verification.
-            if dyn.result != dyn.store_data:
-                # store_data caches the verification re-read (see
-                # _execute_load_verify); mismatch -> flush from this load.
-                self.obs.verify_flush(dyn)
-                self.scheme.on_verify_fail(dyn)
-                self._request_squash(_SquashRequest(
-                    dyn.seq - 1, dyn, "verify", dyn.pc))
-            return
-
-        dyn.completed = True
-        if dyn.dest_preg is not None:
-            self.regfile.set_value(dyn.dest_preg, dyn.result)
-            self.int_iq.wakeup(dyn.dest_preg)
-            self.mem_iq.wakeup(dyn.dest_preg)
-
-        if dyn.is_branch:
-            self._resolve_branch(dyn)
-        elif dyn.is_store:
-            self.scheme.on_store_executed(dyn.mem_addr, dyn.mem_size)
-            violators = self.lsq.find_violations(dyn)
-            if violators:
-                victim = violators[0]
-                self.obs.replay_violation(victim)
-                self._request_squash(_SquashRequest(
-                    victim.seq - 1, victim, "replay", victim.pc))
-
-    def _resolve_branch(self, dyn):
-        if dyn.pred_npc == dyn.actual_npc:
-            return
-        dyn.mispredicted = dyn.pred_npc is not None
-        self._request_squash(_SquashRequest(
-            dyn.seq, dyn, "branch", dyn.actual_npc))
-
-    def _request_squash(self, request):
-        current = self._squash_request
-        if current is None or request.boundary_seq < current.boundary_seq:
-            self._squash_request = request
-
-    # ------------------------------------------------------------------
-    # Execute
-    # ------------------------------------------------------------------
-    def _execute_stage(self):
-        width = self._width
-        try_take = self.fus.try_take
-        execute = self._execute_inst
-        for iq in self._iqs:
-            for dyn in iq.take_ready(width, try_take):
-                execute(dyn)
-
-    def _execute_inst(self, dyn):
-        pd = dyn.pd
-        dyn.issued = True
-        dyn.issue_cycle = self.cycle
-        if self.obs.enabled:
-            self.obs.emit_issue(dyn)
-        values = self.regfile.values
-        sp = dyn.srcs_preg
-        kind = pd.kind
-
-        if kind <= KIND_DIV:           # alu / mul / div
-            latency = self._kind_latency[kind]
-            if pd.has_imm:
-                dyn.result = pd.alu_fn(values[sp[0]], pd.imm_u) \
-                    if pd.num_srcs else pd.imm_u
-            else:
-                dyn.result = pd.alu_fn(values[sp[0]], values[sp[1]])
-        elif kind == KIND_BRANCH:
-            latency = self._execute_branch(dyn, values, sp)
-        elif kind == KIND_LOAD:
-            latency = self._execute_load(dyn, values, sp)
-        elif kind == KIND_STORE:
-            addr = wrap64(values[sp[1]] + pd.imm)
-            dyn.mem_addr = addr
-            dyn.mem_size = pd.mem_size
-            dyn.store_data = values[sp[0]] & pd.store_mask
-            latency = self._kind_latency[KIND_STORE] \
-                + self.hierarchy.access(addr, is_write=True)
-        else:                          # nop / halt (never issued; parity)
-            latency = self._kind_latency[kind]
-        events = self._events
-        when = self.cycle + latency
-        pending = events.get(when)
-        if pending is None:
-            events[when] = [dyn]
-        else:
-            pending.append(dyn)
-
-    def _execute_branch(self, dyn, values, sp):
-        pd = dyn.pd
-        fallthrough = pd.next_pc
-        op = pd.op
-        if op is Op.JAL:
-            dyn.actual_npc = pd.target
-            dyn.result = fallthrough
-        elif op is Op.JALR:
-            dyn.actual_npc = wrap64(values[sp[0]] + pd.imm) & ~1
-            dyn.result = fallthrough
-        else:
-            taken = pd.branch_fn(values[sp[0]], values[sp[1]])
-            dyn.actual_npc = pd.target if taken else fallthrough
-        return self._kind_latency[KIND_BRANCH]
-
-    def _execute_load(self, dyn, values, sp):
-        pd = dyn.pd
-        if dyn.verify_load:
-            addr = dyn.mem_addr  # logged by the reuse scheme
-        else:
-            addr = wrap64(values[sp[0]] + pd.imm)
-            dyn.mem_addr = addr
-            dyn.mem_size = pd.mem_size
-        value, forwarded = self.lsq.speculative_read(addr, pd.mem_size,
-                                                     dyn.seq)
-        if pd.is_lw:
-            value = sext32(value)
-        if dyn.verify_load:
-            # Stash the re-read value for comparison at writeback.
-            dyn.store_data = value
-        else:
-            dyn.result = value
-        if forwarded:
-            return self.config.l1_latency
-        return 1 + self.hierarchy.access(addr)
-
-    # Original interpretive execute (REPRO_SLOWPATH=1): kept verbatim as
-    # the differential-testing reference for the predecoded fast path.
-    def _execute_inst_slow(self, dyn):
-        inst = dyn.inst
-        info = inst.info
-        dyn.issued = True
-        dyn.issue_cycle = self.cycle
-        if self.obs.enabled:
-            self.obs.emit_issue(dyn)
-        values = self.regfile.values
-        srcs = [values[p] for p in dyn.srcs_preg]
-        latency = self.fus.latency_of(dyn)
-        op_class = info.op_class
-
-        if op_class is OpClass.BRANCH:
-            latency = self._execute_branch_slow(dyn, srcs)
-        elif op_class is OpClass.LOAD:
-            latency = self._execute_load_slow(dyn, srcs)
-        elif op_class is OpClass.STORE:
-            addr = wrap64(srcs[1] + inst.imm)
-            dyn.mem_addr = addr
-            dyn.mem_size = info.mem_size
-            dyn.store_data = srcs[0] & ((1 << (info.mem_size * 8)) - 1)
-            latency += self.hierarchy.access(addr, is_write=True)
-        else:
-            if info.has_imm:
-                a = srcs[0] if info.num_srcs else 0
-                dyn.result = info.alu_fn(a, to_unsigned(inst.imm)) \
-                    if info.alu_fn else to_unsigned(inst.imm)
-            else:
-                dyn.result = info.alu_fn(srcs[0], srcs[1])
-        self._events.setdefault(self.cycle + latency, []).append(dyn)
-
-    def _execute_branch_slow(self, dyn, srcs):
-        inst = dyn.inst
-        fallthrough = inst.pc + INST_BYTES
-        if inst.op is Op.JAL:
-            dyn.actual_npc = inst.imm
-            dyn.result = fallthrough
-        elif inst.op is Op.JALR:
-            dyn.actual_npc = wrap64(srcs[0] + inst.imm) & ~1
-            dyn.result = fallthrough
-        else:
-            taken = inst.info.branch_fn(srcs[0], srcs[1])
-            dyn.actual_npc = inst.imm if taken else fallthrough
-        return self.config.branch_latency
-
-    def _execute_load_slow(self, dyn, srcs):
-        inst = dyn.inst
-        info = inst.info
-        if dyn.verify_load:
-            addr = dyn.mem_addr  # logged by the reuse scheme
-        else:
-            addr = wrap64(srcs[0] + inst.imm)
-            dyn.mem_addr = addr
-            dyn.mem_size = info.mem_size
-        value, forwarded = self.lsq.speculative_read(addr, info.mem_size,
-                                                     dyn.seq)
-        if inst.op is Op.LW:
-            value = _sext32(value)
-        if dyn.verify_load:
-            # Stash the re-read value for comparison at writeback.
-            dyn.store_data = value
-        else:
-            dyn.result = value
-        if forwarded:
-            return self.config.l1_latency
-        return 1 + self.hierarchy.access(addr)
-
-    # ------------------------------------------------------------------
-    # Rename / dispatch
-    # ------------------------------------------------------------------
-    def _rename_stage(self):
-        dq = self.decode_queue
-        if not dq:
-            return
-        width = self._width
-        frontier = self.cycle - self._frontend_stages
-        renamed = 0
-        while renamed < width and dq:
-            dyn = dq[0]
-            if dyn.fetch_cycle > frontier:
-                break
-            if not self._has_dispatch_resources(dyn):
-                break
-            dq.popleft()
-            self._rename_inst(dyn)
-            self._dispatch_inst(dyn)
-            renamed += 1
-
-    def _has_dispatch_resources(self, dyn):
-        if len(self.rob) >= self._rob_entries:
-            return False
-        pd = dyn.pd
-        kind = pd.kind
-        if kind == KIND_LOAD:
-            iq = self.mem_iq
-            if iq.size >= iq.capacity or self.lsq.lq_free == 0:
-                return False
-        elif kind == KIND_STORE:
-            iq = self.mem_iq
-            if iq.size >= iq.capacity or self.lsq.sq_free == 0:
-                return False
-        elif kind < KIND_NOP:
-            iq = self.int_iq
-            if iq.size >= iq.capacity:
-                return False
-        if pd.writes_reg and self.regfile.num_free == 0:
-            # Condition (5): reclaim squash-log registers under pressure.
-            if not self.scheme.emergency_release():
-                return False
-            if self.regfile.num_free == 0:
-                return False
-        return True
-
-    def _rename_inst(self, dyn):
-        pd = dyn.pd
-        rat = self.rat
-        num_srcs = pd.num_srcs
-        rmap = rat.map
-        if num_srcs == 0:
-            dyn.srcs_preg = ()
-        elif num_srcs == 1:
-            dyn.srcs_preg = (rmap[pd.src0],)
-        else:
-            dyn.srcs_preg = (rmap[pd.src0], rmap[pd.src1])
-        if rat.track_rgids:
-            rgid = rat.rgid
-            if num_srcs == 0:
-                dyn.src_rgids = ()
-            elif num_srcs == 1:
-                dyn.src_rgids = (rgid[pd.src0],)
-            else:
-                dyn.src_rgids = (rgid[pd.src0], rgid[pd.src1])
-
-        writes_reg = pd.writes_reg
-        reused = False
-        if writes_reg and not pd.is_branch and not pd.is_store:
-            result = self.scheme.try_reuse(dyn)
-            if result is not None:
-                self._apply_reuse(dyn, result)
-                reused = True
-        if not reused and writes_reg:
-            if not rat.rename_dest(dyn):
-                raise AssertionError("rename without a free preg")
-        dyn.renamed = True
-        if self.obs.enabled:
-            self.obs.emit_rename(dyn, reused)
-        self.scheme.on_rename(dyn, reused)
-
-    def _apply_reuse(self, dyn, result):
-        if result.preg is not None:
-            # Integration-style: adopt the squashed destination register.
-            self.rat.apply_reuse(dyn, result.preg, result.rgid)
-            self.regfile.mark_in_flight(result.preg)
-            dyn.result = self.regfile.values[result.preg]
-        else:
-            # Value-style (DIR): fresh register, stored value.
-            if not self.rat.rename_dest(dyn):
-                raise AssertionError("reuse without a free preg")
-            self.regfile.set_value(dyn.dest_preg, result.value)
-            dyn.result = result.value
-        dyn.reused = True
-        dyn.completed = True
-        dyn.reuse_scheme_tag = result.tag
-        self.obs.reuse_applied(dyn)
-        if dyn.is_load and result.verify_addr is not None:
-            dyn.verify_load = True
-            dyn.mem_addr = result.verify_addr
-            dyn.mem_size = dyn.pd.mem_size
-
-    def _dispatch_inst(self, dyn):
-        self.rob.append(dyn)
-        kind = dyn.pd.kind
-        if kind >= KIND_NOP:           # nop / halt
-            dyn.completed = True
-            dyn.executed = True
-            return
-        if dyn.reused and not dyn.verify_load:
-            dyn.executed = True
-            return
-        if kind == KIND_LOAD or kind == KIND_STORE:
-            self.lsq.allocate(dyn)
-            iq = self.mem_iq
-        else:
-            iq = self.int_iq
-        # Unrolled "unready deduped sources" (the set()+listcomp here was
-        # a top allocation site; instructions have at most two sources).
-        sp = dyn.srcs_preg
-        ready = self.regfile.ready
-        if not sp:
-            not_ready = ()
-        elif len(sp) == 1 or sp[0] == sp[1]:
-            p0 = sp[0]
-            not_ready = () if ready[p0] else (p0,)
-        else:
-            p0, p1 = sp
-            if ready[p0]:
-                not_ready = () if ready[p1] else (p1,)
-            else:
-                not_ready = (p0,) if ready[p1] else (p0, p1)
-        iq.insert(dyn, not_ready)
-
-    # ------------------------------------------------------------------
-    # Fetch
-    # ------------------------------------------------------------------
-    def _fetch_stage(self):
-        cfg = self.config
-        # Decoupled mode: the BPU runs ahead into the FTQ regardless of
-        # decode backpressure (no-op when fused).
-        self.fetch.tick(self.cycle)
-        for _ in range(cfg.fetch_blocks_per_cycle):
-            if len(self.decode_queue) + cfg.fetch_block_insts \
-                    > cfg.decode_queue:
-                return
-            block = self.fetch.fetch_block(self.cycle)
-            if block is None:
-                return
-            self.obs.fetch_block(block)
-            self.scheme.on_fetch_block(block)
-            for dyn in block.insts:
-                self.decode_queue.append(dyn)
-
-    # ------------------------------------------------------------------
-    # Squash
-    # ------------------------------------------------------------------
-    def _apply_squash(self, request):
-        boundary = request.boundary_seq
-        if request.trigger.squashed:
-            return  # stale request (should not happen; safety)
-
-        # 1. Pop squashed instructions from the ROB (tail first).
-        squashed = []
-        while self.rob and self.rob[-1].seq > boundary:
-            squashed.append(self.rob.pop())
-        # 2. Drop not-yet-renamed instructions from the decode queue
-        #    (kept for frontend repair: their speculative predictor
-        #    advances still need unwinding).
-        dropped_dyns = []
-        while self.decode_queue and self.decode_queue[-1].seq > boundary:
-            dropped = self.decode_queue.pop()
-            dropped.squashed = True
-            dropped_dyns.append(dropped)
-        dropped_seqs = [dyn.seq for dyn in dropped_dyns] \
-            if self.obs.enabled else []
-        # 3. Roll the RAT back, youngest first.
-        for dyn in squashed:
-            dyn.squashed = True
-            self.rat.rollback(dyn)
-        self.obs.squash(request.kind, request.trigger, boundary,
-                        request.redirect_pc, squashed, dropped_seqs)
-
-        # 4. FTQ: carve out the squashed blocks (for the WPBs). The
-        #    boundary block is split so instructions at or before the
-        #    boundary survive (for replay squashes the trigger itself is
-        #    squashed and refetched).
-        squashed_blocks = self.fetch.squash_ftq_after(
-            request.trigger.block_id, keep_partial_seq=boundary)
-
-        # 5. Reuse-scheme notification *before* registers are freed, so it
-        #    can claim them.
-        squashed_oldest_first = list(reversed(squashed))
-        if request.kind == "branch":
-            self.scheme.on_branch_squash(request.trigger,
-                                         squashed_oldest_first,
-                                         squashed_blocks)
-        else:
-            self.scheme.on_replay_squash(request.trigger)
-
-        # 6. Free or reserve destination registers; drain LSQ/IQ entries.
-        for dyn in squashed:
-            self.lsq.remove(dyn)
-            if dyn.dest_preg is not None:
-                if (request.kind == "branch" and dyn.executed
-                        and not dyn.verify_load
-                        and self.scheme.wants_preg(dyn)):
-                    self.regfile.mark_reserved(dyn.dest_preg)
-                else:
-                    self.free_preg(dyn.dest_preg)
-        self.int_iq.remove_squashed()
-        self.mem_iq.remove_squashed()
-
-        # 7. Repair predictor history and RAS.
-        self._repair_frontend(request, squashed_oldest_first, dropped_dyns)
-
-        # 8. Redirect fetch.
-        self.fetch.redirect(request.redirect_pc, cycle=self.cycle)
-
-    def _repair_frontend(self, request, squashed_oldest_first,
-                         dropped_newest_first=()):
-        # Unwind per-prediction speculative state (loop iteration
-        # counts) of every squashed prediction, youngest first:
-        # decode-queue drops are younger than ROB-squashed instructions
-        # (the fetch unit has already unwound flushed FTQ entries,
-        # which are younger still).
-        unwind = getattr(self.predictor, "unwind", None)
-        if unwind is not None:
-            for dyn in dropped_newest_first:
-                if dyn.bp_meta is not None:
-                    unwind(dyn.bp_meta)
-            for dyn in reversed(squashed_oldest_first):
-                if dyn.bp_meta is not None:
-                    unwind(dyn.bp_meta)
-        trigger = request.trigger
-        if request.kind == "branch" and trigger.inst.is_cond_branch \
-                and trigger.bp_meta is not None:
-            taken = trigger.actual_npc != trigger.pc + INST_BYTES
-            if isinstance(self.predictor, TageSCL):
-                self.predictor.recover_branch(trigger.pc, taken,
-                                              trigger.bp_meta)
-            else:
-                self.predictor.recover(taken, trigger.bp_meta)
-        else:
-            # Replay/verify squash (or jalr): rewind history to the oldest
-            # squashed conditional branch's pre-prediction state.
-            for dyn in squashed_oldest_first:
-                if dyn.bp_meta is not None:
-                    self.predictor.restore_history(dyn.bp_meta.history)
-                    break
-        for dyn in squashed_oldest_first:
-            if dyn.ras_snap is not None:
-                self.ras.restore(dyn.ras_snap)
-                break
+        request = state.squash_arbiter.take()
+        if request is not None:
+            self._squash_unit.apply(request)
+        self.scheme.on_cycle(cycle)
+        if state.budget_stop:
+            state.halted = True

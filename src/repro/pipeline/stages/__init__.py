@@ -1,0 +1,26 @@
+"""Pipeline stage objects.
+
+Each stage is one object owning the policy of one pipeline segment and
+nothing else; everything a stage shares with its neighbours flows
+through the typed latches in :mod:`repro.pipeline.latches` and the
+shared :class:`~repro.pipeline.latches.CoreState`. The core's ``step()``
+walks them in reverse pipeline order (commit → writeback → execute →
+rename/dispatch → fetch) so a single-cycle producer wakes its consumer
+back-to-back, then drains the squash arbiter.
+"""
+
+from repro.pipeline.stages.commit import CommitStage
+from repro.pipeline.stages.execute import ExecuteStage
+from repro.pipeline.stages.fetch import FetchStage
+from repro.pipeline.stages.rename import RenameDispatchStage
+from repro.pipeline.stages.squash import SquashUnit
+from repro.pipeline.stages.writeback import WritebackStage
+
+__all__ = [
+    "CommitStage",
+    "ExecuteStage",
+    "FetchStage",
+    "RenameDispatchStage",
+    "SquashUnit",
+    "WritebackStage",
+]

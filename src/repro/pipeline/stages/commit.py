@@ -1,0 +1,87 @@
+"""Commit stage: in-order retirement from the ROB head."""
+
+
+class CommitStage:
+    """Retire up to ``width`` completed instructions per cycle.
+
+    Owns commit-side policy: store/load retirement into the LSQ,
+    architectural register promotion (and the freeing of the previous
+    mapping), branch predictor training, and FTQ deallocation once every
+    instruction of a block has retired. Reuse-verification loads block
+    retirement until their re-execution has actually run
+    (``verify_load and not executed``).
+    """
+
+    __slots__ = ("state", "width", "rob", "lsq", "obs", "scheme",
+                 "regfile", "predictor", "btb", "fetch")
+
+    def __init__(self, state):
+        self.state = state
+        self.width = state.config.width
+        self.rob = state.rob
+        self.lsq = state.lsq
+        self.obs = state.obs
+        self.scheme = state.scheme
+        self.regfile = state.regfile
+        self.predictor = state.predictor
+        self.btb = state.btb
+        self.fetch = state.fetch
+
+    def tick(self):
+        state = self.state
+        rob = self.rob
+        obs = self.obs
+        for _ in range(self.width):
+            if not rob:
+                return
+            head = rob[0]
+            if not head.completed or (head.verify_load and not head.executed):
+                return
+            rob.popleft()
+            head.committed = True
+            self._commit_inst(head)
+            obs.commit(head)
+            state.last_commit_cycle = state.cycle
+            if head.pd.is_halt:
+                state.halted = True
+                return
+            if state.commit_limit is not None \
+                    and state.stats.committed_insts >= state.commit_limit:
+                # Stop committing, but let the rest of this cycle's
+                # stages run before halting (step() raises the halt):
+                # completion events already scheduled for this cycle
+                # must drain, or a resumed run would deadlock on them.
+                state.budget_stop = True
+                return
+
+    def _commit_inst(self, head):
+        state = self.state
+        if head.is_store:
+            self.lsq.commit_store(head)
+        elif head.is_load:
+            self.lsq.commit_load(head)
+
+        if head.dest_preg is not None:
+            self.regfile.mark_arch(head.dest_preg)
+            if head.old_preg is not None:
+                state.free_preg(head.old_preg)
+
+        if head.is_branch:
+            self._train_branch(head)
+
+        if head.block_id - 1 > state.last_retired_block:
+            self.fetch.retire_block(head.block_id - 1)
+            state.last_retired_block = head.block_id - 1
+
+        self.scheme.on_commit(head)
+
+    def _train_branch(self, head):
+        pd = head.pd
+        taken = head.actual_npc != pd.next_pc
+        if pd.is_cond_branch:
+            self.obs.cond_branch(head.mispredicted)
+            if head.bp_meta is not None:
+                self.predictor.update(pd.pc, taken, head.bp_meta)
+        elif pd.is_indirect:
+            self.obs.indirect_branch(head.mispredicted)
+            self.btb.install(pd.pc, head.actual_npc)

@@ -1,0 +1,213 @@
+"""Execute stage: issue-queue selection and functional execution.
+
+Wraps the scheduler (issue queues + function units) and the LSQ's
+speculative datapath. Completions are scheduled into the
+:class:`~repro.pipeline.latches.CompletionQueue` latch at
+``cycle + latency``; the writeback stage picks them up.
+
+``REPRO_SLOWPATH=1`` swaps in the original interpretive execute path,
+kept verbatim as the differential-testing reference for the predecoded
+fast path.
+"""
+
+from repro.isa.instruction import INST_BYTES
+from repro.isa.opcodes import Op, OpClass
+from repro.isa.predecode import (KIND_BRANCH, KIND_DIV, KIND_LOAD,
+                                 KIND_STORE, slowpath_enabled)
+from repro.utils.bits import MASK64, sext32, to_unsigned, wrap64
+
+
+def _sext32(value):
+    value &= 0xFFFFFFFF
+    if value & 0x80000000:
+        value |= ~0xFFFFFFFF & MASK64
+    return value
+
+
+class ExecuteStage:
+    """Select ready instructions from the issue queues and execute them."""
+
+    __slots__ = ("state", "width", "iqs", "fus", "regfile", "lsq",
+                 "hierarchy", "completions", "obs", "config",
+                 "kind_latency", "execute_inst")
+
+    def __init__(self, state):
+        cfg = state.config
+        self.state = state
+        self.width = cfg.width
+        self.iqs = state.iqs
+        self.fus = state.fus
+        self.regfile = state.regfile
+        self.lsq = state.lsq
+        self.hierarchy = state.hierarchy
+        self.completions = state.completions
+        self.obs = state.obs
+        self.config = cfg
+        # Execute latency indexed by PDInst.kind (branch/load handlers
+        # compute their own).
+        self.kind_latency = (
+            cfg.alu_latency, cfg.mul_latency, cfg.div_latency,
+            cfg.branch_latency, 0, cfg.store_latency,
+            cfg.alu_latency, cfg.alu_latency)
+        # Differential-testing escape hatch: dispatch execute through
+        # the original interpretive path.
+        self.execute_inst = self._execute_inst_slow if slowpath_enabled() \
+            else self._execute_inst
+
+    def tick(self):
+        width = self.width
+        try_take = self.fus.try_take
+        execute = self.execute_inst
+        for iq in self.iqs:
+            for dyn in iq.take_ready(width, try_take):
+                execute(dyn)
+
+    def _execute_inst(self, dyn):
+        pd = dyn.pd
+        dyn.issued = True
+        cycle = self.state.cycle
+        dyn.issue_cycle = cycle
+        obs = self.obs
+        if obs.enabled:
+            obs.emit_issue(dyn)
+        values = self.regfile.values
+        sp = dyn.srcs_preg
+        kind = pd.kind
+
+        if kind <= KIND_DIV:           # alu / mul / div
+            latency = self.kind_latency[kind]
+            if pd.has_imm:
+                dyn.result = pd.alu_fn(values[sp[0]], pd.imm_u) \
+                    if pd.num_srcs else pd.imm_u
+            else:
+                dyn.result = pd.alu_fn(values[sp[0]], values[sp[1]])
+        elif kind == KIND_BRANCH:
+            latency = self._execute_branch(dyn, values, sp)
+        elif kind == KIND_LOAD:
+            latency = self._execute_load(dyn, values, sp)
+        elif kind == KIND_STORE:
+            addr = wrap64(values[sp[1]] + pd.imm)
+            dyn.mem_addr = addr
+            dyn.mem_size = pd.mem_size
+            dyn.store_data = values[sp[0]] & pd.store_mask
+            latency = self.kind_latency[KIND_STORE] \
+                + self.hierarchy.access(addr, is_write=True)
+        else:                          # nop / halt (never issued; parity)
+            latency = self.kind_latency[kind]
+        events = self.completions.by_cycle
+        when = cycle + latency
+        pending = events.get(when)
+        if pending is None:
+            events[when] = [dyn]
+        else:
+            pending.append(dyn)
+
+    def _execute_branch(self, dyn, values, sp):
+        pd = dyn.pd
+        fallthrough = pd.next_pc
+        op = pd.op
+        if op is Op.JAL:
+            dyn.actual_npc = pd.target
+            dyn.result = fallthrough
+        elif op is Op.JALR:
+            dyn.actual_npc = wrap64(values[sp[0]] + pd.imm) & ~1
+            dyn.result = fallthrough
+        else:
+            taken = pd.branch_fn(values[sp[0]], values[sp[1]])
+            dyn.actual_npc = pd.target if taken else fallthrough
+        return self.kind_latency[KIND_BRANCH]
+
+    def _execute_load(self, dyn, values, sp):
+        pd = dyn.pd
+        if dyn.verify_load:
+            addr = dyn.mem_addr  # logged by the reuse scheme
+        else:
+            addr = wrap64(values[sp[0]] + pd.imm)
+            dyn.mem_addr = addr
+            dyn.mem_size = pd.mem_size
+        value, forwarded = self.lsq.speculative_read(addr, pd.mem_size,
+                                                     dyn.seq)
+        if pd.is_lw:
+            value = sext32(value)
+        if dyn.verify_load:
+            # Stash the re-read value for comparison at writeback.
+            dyn.store_data = value
+        else:
+            dyn.result = value
+        if forwarded:
+            return self.config.l1_latency
+        return 1 + self.hierarchy.access(addr)
+
+    # ------------------------------------------------------------------
+    # Original interpretive execute (REPRO_SLOWPATH=1): kept verbatim as
+    # the differential-testing reference for the predecoded fast path.
+    # ------------------------------------------------------------------
+    def _execute_inst_slow(self, dyn):
+        inst = dyn.inst
+        info = inst.info
+        dyn.issued = True
+        cycle = self.state.cycle
+        dyn.issue_cycle = cycle
+        obs = self.obs
+        if obs.enabled:
+            obs.emit_issue(dyn)
+        values = self.regfile.values
+        srcs = [values[p] for p in dyn.srcs_preg]
+        latency = self.fus.latency_of(dyn)
+        op_class = info.op_class
+
+        if op_class is OpClass.BRANCH:
+            latency = self._execute_branch_slow(dyn, srcs)
+        elif op_class is OpClass.LOAD:
+            latency = self._execute_load_slow(dyn, srcs)
+        elif op_class is OpClass.STORE:
+            addr = wrap64(srcs[1] + inst.imm)
+            dyn.mem_addr = addr
+            dyn.mem_size = info.mem_size
+            dyn.store_data = srcs[0] & ((1 << (info.mem_size * 8)) - 1)
+            latency += self.hierarchy.access(addr, is_write=True)
+        else:
+            if info.has_imm:
+                a = srcs[0] if info.num_srcs else 0
+                dyn.result = info.alu_fn(a, to_unsigned(inst.imm)) \
+                    if info.alu_fn else to_unsigned(inst.imm)
+            else:
+                dyn.result = info.alu_fn(srcs[0], srcs[1])
+        self.completions.by_cycle.setdefault(cycle + latency,
+                                             []).append(dyn)
+
+    def _execute_branch_slow(self, dyn, srcs):
+        inst = dyn.inst
+        fallthrough = inst.pc + INST_BYTES
+        if inst.op is Op.JAL:
+            dyn.actual_npc = inst.imm
+            dyn.result = fallthrough
+        elif inst.op is Op.JALR:
+            dyn.actual_npc = wrap64(srcs[0] + inst.imm) & ~1
+            dyn.result = fallthrough
+        else:
+            taken = inst.info.branch_fn(srcs[0], srcs[1])
+            dyn.actual_npc = inst.imm if taken else fallthrough
+        return self.config.branch_latency
+
+    def _execute_load_slow(self, dyn, srcs):
+        inst = dyn.inst
+        info = inst.info
+        if dyn.verify_load:
+            addr = dyn.mem_addr  # logged by the reuse scheme
+        else:
+            addr = wrap64(srcs[0] + inst.imm)
+            dyn.mem_addr = addr
+            dyn.mem_size = info.mem_size
+        value, forwarded = self.lsq.speculative_read(addr, info.mem_size,
+                                                     dyn.seq)
+        if inst.op is Op.LW:
+            value = _sext32(value)
+        if dyn.verify_load:
+            # Stash the re-read value for comparison at writeback.
+            dyn.store_data = value
+        else:
+            dyn.result = value
+        if forwarded:
+            return self.config.l1_latency
+        return 1 + self.hierarchy.access(addr)

@@ -1,0 +1,164 @@
+"""Rename/dispatch stage: RAT lookup, reuse test, resource allocation.
+
+Drains the :class:`~repro.pipeline.latches.DecodeQueue` latch in program
+order, offering every register-writing instruction to the reuse scheme
+before allocating a fresh destination, then inserts it into the ROB and
+the appropriate issue queue (or the LSQ for memory operations).
+"""
+
+from repro.isa.predecode import KIND_LOAD, KIND_NOP, KIND_STORE
+
+
+class RenameDispatchStage:
+    """Rename up to ``width`` instructions per cycle and dispatch them."""
+
+    __slots__ = ("state", "width", "frontend_stages", "rob_entries",
+                 "decode_queue", "rob", "rat", "regfile", "lsq",
+                 "int_iq", "mem_iq", "scheme", "obs")
+
+    def __init__(self, state):
+        cfg = state.config
+        self.state = state
+        self.width = cfg.width
+        self.frontend_stages = cfg.frontend_stages
+        self.rob_entries = cfg.rob_entries
+        self.decode_queue = state.decode_queue
+        self.rob = state.rob
+        self.rat = state.rat
+        self.regfile = state.regfile
+        self.lsq = state.lsq
+        self.int_iq = state.int_iq
+        self.mem_iq = state.mem_iq
+        self.scheme = state.scheme
+        self.obs = state.obs
+
+    def tick(self):
+        dq = self.decode_queue.entries
+        if not dq:
+            return
+        width = self.width
+        frontier = self.state.cycle - self.frontend_stages
+        renamed = 0
+        while renamed < width and dq:
+            dyn = dq[0]
+            if dyn.fetch_cycle > frontier:
+                break
+            if not self._has_dispatch_resources(dyn):
+                break
+            dq.popleft()
+            self._rename_inst(dyn)
+            self._dispatch_inst(dyn)
+            renamed += 1
+
+    def _has_dispatch_resources(self, dyn):
+        if len(self.rob) >= self.rob_entries:
+            return False
+        pd = dyn.pd
+        kind = pd.kind
+        if kind == KIND_LOAD:
+            iq = self.mem_iq
+            if iq.size >= iq.capacity or self.lsq.lq_free == 0:
+                return False
+        elif kind == KIND_STORE:
+            iq = self.mem_iq
+            if iq.size >= iq.capacity or self.lsq.sq_free == 0:
+                return False
+        elif kind < KIND_NOP:
+            iq = self.int_iq
+            if iq.size >= iq.capacity:
+                return False
+        if pd.writes_reg and self.regfile.num_free == 0:
+            # Condition (5): reclaim squash-log registers under pressure.
+            if not self.scheme.emergency_release():
+                return False
+            if self.regfile.num_free == 0:
+                return False
+        return True
+
+    def _rename_inst(self, dyn):
+        pd = dyn.pd
+        rat = self.rat
+        num_srcs = pd.num_srcs
+        rmap = rat.map
+        if num_srcs == 0:
+            dyn.srcs_preg = ()
+        elif num_srcs == 1:
+            dyn.srcs_preg = (rmap[pd.src0],)
+        else:
+            dyn.srcs_preg = (rmap[pd.src0], rmap[pd.src1])
+        if rat.track_rgids:
+            rgid = rat.rgid
+            if num_srcs == 0:
+                dyn.src_rgids = ()
+            elif num_srcs == 1:
+                dyn.src_rgids = (rgid[pd.src0],)
+            else:
+                dyn.src_rgids = (rgid[pd.src0], rgid[pd.src1])
+
+        writes_reg = pd.writes_reg
+        reused = False
+        if writes_reg and not pd.is_branch and not pd.is_store:
+            result = self.scheme.try_reuse(dyn)
+            if result is not None:
+                self._apply_reuse(dyn, result)
+                reused = True
+        if not reused and writes_reg:
+            if not rat.rename_dest(dyn):
+                raise AssertionError("rename without a free preg")
+        dyn.renamed = True
+        if self.obs.enabled:
+            self.obs.emit_rename(dyn, reused)
+        self.scheme.on_rename(dyn, reused)
+
+    def _apply_reuse(self, dyn, result):
+        if result.preg is not None:
+            # Integration-style: adopt the squashed destination register.
+            self.rat.apply_reuse(dyn, result.preg, result.rgid)
+            self.regfile.mark_in_flight(result.preg)
+            dyn.result = self.regfile.values[result.preg]
+        else:
+            # Value-style (DIR): fresh register, stored value.
+            if not self.rat.rename_dest(dyn):
+                raise AssertionError("reuse without a free preg")
+            self.regfile.set_value(dyn.dest_preg, result.value)
+            dyn.result = result.value
+        dyn.reused = True
+        dyn.completed = True
+        dyn.reuse_scheme_tag = result.tag
+        self.obs.reuse_applied(dyn)
+        if dyn.is_load and result.verify_addr is not None:
+            dyn.verify_load = True
+            dyn.mem_addr = result.verify_addr
+            dyn.mem_size = dyn.pd.mem_size
+
+    def _dispatch_inst(self, dyn):
+        self.rob.append(dyn)
+        kind = dyn.pd.kind
+        if kind >= KIND_NOP:           # nop / halt
+            dyn.completed = True
+            dyn.executed = True
+            return
+        if dyn.reused and not dyn.verify_load:
+            dyn.executed = True
+            return
+        if kind == KIND_LOAD or kind == KIND_STORE:
+            self.lsq.allocate(dyn)
+            iq = self.mem_iq
+        else:
+            iq = self.int_iq
+        # Unrolled "unready deduped sources" (the set()+listcomp here was
+        # a top allocation site; instructions have at most two sources).
+        sp = dyn.srcs_preg
+        ready = self.regfile.ready
+        if not sp:
+            not_ready = ()
+        elif len(sp) == 1 or sp[0] == sp[1]:
+            p0 = sp[0]
+            not_ready = () if ready[p0] else (p0,)
+        else:
+            p0, p1 = sp
+            if ready[p0]:
+                not_ready = () if ready[p1] else (p1,)
+            else:
+                not_ready = (p0,) if ready[p1] else (p0, p1)
+        iq.insert(dyn, not_ready)

@@ -1,0 +1,75 @@
+"""Writeback stage: completion, wakeup, branch resolution, hazards.
+
+Drains the :class:`~repro.pipeline.latches.CompletionQueue` latch for
+the current cycle. Every squash condition discovered here — branch
+misprediction, store-to-load ordering violation, reused-load
+verification failure — is raised on the shared
+:class:`~repro.pipeline.latches.SquashArbiter`; this stage never applies
+recovery itself.
+"""
+
+
+class WritebackStage:
+    """Complete executed instructions and wake their consumers."""
+
+    __slots__ = ("state", "regfile", "int_iq", "mem_iq", "lsq", "obs",
+                 "scheme", "completions", "arbiter")
+
+    def __init__(self, state):
+        self.state = state
+        self.regfile = state.regfile
+        self.int_iq = state.int_iq
+        self.mem_iq = state.mem_iq
+        self.lsq = state.lsq
+        self.obs = state.obs
+        self.scheme = state.scheme
+        self.completions = state.completions
+        self.arbiter = state.squash_arbiter
+
+    def tick(self):
+        done = self.completions.pop(self.state.cycle)
+        if not done:
+            return
+        for dyn in done:
+            if dyn.squashed:
+                continue
+            self._writeback_inst(dyn)
+
+    def _writeback_inst(self, dyn):
+        dyn.executed = True
+        obs = self.obs
+        if obs.enabled:
+            obs.emit_writeback(dyn)
+        if dyn.verify_load:
+            # Value was already delivered at rename; this is verification.
+            if dyn.result != dyn.store_data:
+                # store_data caches the verification re-read (see
+                # ExecuteStage._execute_load); mismatch -> flush from
+                # this load.
+                obs.verify_flush(dyn)
+                self.scheme.on_verify_fail(dyn)
+                self.arbiter.request(dyn.seq - 1, dyn, "verify", dyn.pc)
+            return
+
+        dyn.completed = True
+        if dyn.dest_preg is not None:
+            self.regfile.set_value(dyn.dest_preg, dyn.result)
+            self.int_iq.wakeup(dyn.dest_preg)
+            self.mem_iq.wakeup(dyn.dest_preg)
+
+        if dyn.is_branch:
+            self._resolve_branch(dyn)
+        elif dyn.is_store:
+            self.scheme.on_store_executed(dyn.mem_addr, dyn.mem_size)
+            violators = self.lsq.find_violations(dyn)
+            if violators:
+                victim = violators[0]
+                self.obs.replay_violation(victim)
+                self.arbiter.request(victim.seq - 1, victim, "replay",
+                                     victim.pc)
+
+    def _resolve_branch(self, dyn):
+        if dyn.pred_npc == dyn.actual_npc:
+            return
+        dyn.mispredicted = dyn.pred_npc is not None
+        self.arbiter.request(dyn.seq, dyn, "branch", dyn.actual_npc)

@@ -29,6 +29,10 @@ class SimStats:
         self.fetch_stalls = 0
         self.fetch_stall_reasons = {}
 
+        # Instruction cache (zero when frontend.icache_lines is 0)
+        self.icache_accesses = 0
+        self.icache_misses = 0
+
         self.cond_branches = 0
         self.cond_mispredicts = 0
         self.indirect_branches = 0
@@ -41,6 +45,7 @@ class SimStats:
         self.reuse_tests = 0
         self.reuse_successes = 0
         self.reused_loads = 0
+        self.wpb_captures_ftq = 0  # blocks captured via FTQ-sourced path
         self.reconvergences = 0
         self.reconv_simple = 0
         self.reconv_software = 0

@@ -14,6 +14,7 @@ from repro.isa.instruction import INST_BYTES
 from repro.obs import Observability, RingBufferSink, run_lockstep
 from repro.pipeline import O3Core, baseline_config, mssr_config
 from repro.pipeline.core import SimulationError
+from repro.pipeline.stages import WritebackStage
 from repro.utils.bits import wrap64
 from repro.workloads import get_workload
 
@@ -41,8 +42,8 @@ def _find_pc(prog, op):
     raise AssertionError("op %s not found" % op)
 
 
-class _FaultyCore(O3Core):
-    """O3 core that corrupts the writeback value at one static PC."""
+class _FaultyWriteback(WritebackStage):
+    """Writeback stage that corrupts the result at one static PC."""
 
     fault_pc = None
 
@@ -50,6 +51,21 @@ class _FaultyCore(O3Core):
         if dyn.pc == self.fault_pc and not dyn.verify_load:
             dyn.result = wrap64(dyn.result + 1)
         super()._writeback_inst(dyn)
+
+
+class _FaultyCore(O3Core):
+    """O3 core with the fault-injecting writeback stage swapped in."""
+
+    fault_pc = None
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        faulty = _FaultyWriteback(self.state)
+        type(faulty).fault_pc = self.fault_pc
+        self.writeback_stage = faulty
+        self._stages = tuple(
+            faulty if isinstance(s, WritebackStage) else s
+            for s in self._stages)
 
 
 # ---------------------------------------------------------------------------
