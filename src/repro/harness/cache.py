@@ -1,10 +1,18 @@
 """On-disk result cache for simulation jobs.
 
 Results are stored one JSON file per job under
-``<cache dir>/<code fingerprint>/<job hash>.json``. The fingerprint
-hashes every ``.py`` source file in the ``repro`` package, so editing
-the simulator (or a workload) automatically invalidates all cached
-results without any manual versioning.
+``<cache dir>/<code fingerprint>/<shard>/<job hash>.json``, where the
+shard is the first two hex digits of the job hash. Sharding keeps
+directory listings bounded (256 buckets per fingerprint) so a store
+holding millions of cached points stays fast to look up and to walk —
+a flat directory with 10^6+ entries makes every ``os.listdir`` and
+every cold ``open`` crawl. Entries written by older versions in the
+flat ``<fingerprint>/<hash>.json`` layout are still *read* through
+transparently; ``python -m repro.harness cache migrate`` moves them
+into their shards in place. The fingerprint hashes every ``.py``
+source file in the ``repro`` package, so editing the simulator (or a
+workload) automatically invalidates all cached results without any
+manual versioning.
 
 The cache directory defaults to ``$XDG_CACHE_HOME/repro-sim`` (or
 ``~/.cache/repro-sim``) and is overridable via ``REPRO_CACHE_DIR``.
@@ -74,6 +82,48 @@ def default_cache_dir():
     return os.path.join(base, "repro-sim")
 
 
+#: Hex digits of the job hash used as the shard directory name.
+SHARD_CHARS = 2
+
+
+def shard_of(key):
+    """Shard directory name for one entry key (2-hex hash prefix)."""
+    return key[:SHARD_CHARS]
+
+
+def _is_shard_dir(name):
+    """True for 2-hex shard directory names (``a3``, ``0f``, ...)."""
+    if len(name) != SHARD_CHARS:
+        return False
+    try:
+        int(name, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def iter_entries(sub):
+    """Yield ``(name, path)`` for every JSON entry under one
+    fingerprint directory: sharded entries plus any legacy flat ones.
+    Unreadable paths are silently skipped, like every cache I/O."""
+    try:
+        names = sorted(os.listdir(sub))
+    except OSError:
+        return
+    for name in names:
+        path = os.path.join(sub, name)
+        if name.endswith(".json"):
+            yield name, path
+        elif _is_shard_dir(name) and os.path.isdir(path):
+            try:
+                inner = sorted(os.listdir(path))
+            except OSError:
+                continue
+            for entry in inner:
+                if entry.endswith(".json"):
+                    yield entry, os.path.join(path, entry)
+
+
 def stale_fingerprints(directory, current):
     """Fingerprint subdirectories of ``directory`` other than
     ``current`` — entries under them were produced by older code or an
@@ -90,11 +140,7 @@ def stale_fingerprints(directory, current):
         sub = os.path.join(directory, name)
         if not os.path.isdir(sub):
             continue
-        try:
-            count = sum(1 for entry in os.listdir(sub)
-                        if entry.endswith(".json"))
-        except OSError:
-            continue
+        count = sum(1 for _name, _path in iter_entries(sub))
         out.append((name, count))
     return out
 
@@ -106,22 +152,18 @@ def stale_fingerprints(directory, current):
 # ---------------------------------------------------------------------------
 def walk_store(directory):
     """Yield ``(path, size_bytes, mtime)`` for every JSON entry under
-    every fingerprint subdirectory of ``directory`` (missing or
-    unreadable paths are silently skipped, like every cache I/O)."""
+    every fingerprint subdirectory of ``directory`` — sharded and
+    legacy flat entries alike (missing or unreadable paths are
+    silently skipped, like every cache I/O)."""
     try:
         fingerprints = sorted(os.listdir(directory))
     except OSError:
         return
     for fingerprint in fingerprints:
         sub = os.path.join(directory, fingerprint)
-        try:
-            names = sorted(os.listdir(sub))
-        except OSError:
+        if not os.path.isdir(sub):
             continue
-        for name in names:
-            if not name.endswith(".json"):
-                continue
-            path = os.path.join(sub, name)
+        for _name, path in iter_entries(sub):
             try:
                 info = os.stat(path)
             except OSError:
@@ -191,18 +233,35 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def _path(self, job):
+        job_hash = job.job_hash()
+        return os.path.join(self.directory, self.fingerprint,
+                            shard_of(job_hash), job_hash + ".json")
+
+    def _flat_path(self, job):
+        """Pre-sharding layout: entries written by older versions live
+        directly under the fingerprint directory."""
         return os.path.join(self.directory, self.fingerprint,
                             job.job_hash() + ".json")
 
+    def _load(self, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)["stats"]
+
     def get(self, job):
-        """Stats dict for ``job``, or None on a miss."""
+        """Stats dict for ``job``, or None on a miss.
+
+        Reads the sharded path first, then falls back to the legacy
+        flat layout, so a cache populated before sharding keeps
+        serving without a migration (``cache migrate`` merely speeds
+        it up)."""
         try:
-            with open(self._path(job), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            stats = entry["stats"]
+            stats = self._load(self._path(job))
         except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return None
+            try:
+                stats = self._load(self._flat_path(job))
+            except (OSError, ValueError, KeyError, TypeError):
+                self.misses += 1
+                return None
         self.hits += 1
         return stats
 
@@ -237,13 +296,55 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def entries(self):
-        """Number of results stored for the current fingerprint."""
+        """Number of results stored for the current fingerprint
+        (sharded plus legacy flat entries)."""
+        sub = os.path.join(self.directory, self.fingerprint)
+        return sum(1 for _name, _path in iter_entries(sub))
+
+    def flat_entries(self):
+        """Legacy pre-sharding entries still sitting directly under
+        the current fingerprint directory (``cache migrate`` moves
+        them into their shards)."""
+        sub = os.path.join(self.directory, self.fingerprint)
         try:
-            names = os.listdir(os.path.join(self.directory,
-                                            self.fingerprint))
+            names = os.listdir(sub)
         except OSError:
             return 0
         return sum(1 for name in names if name.endswith(".json"))
+
+    def migrate(self, all_fingerprints=True):
+        """Move legacy flat-layout entries into their shard
+        directories. Returns the number of entries moved; each move is
+        an ``os.replace`` within the fingerprint directory, so readers
+        racing the migration see either layout, never a torn file."""
+        if all_fingerprints:
+            try:
+                fingerprints = sorted(
+                    name for name in os.listdir(self.directory)
+                    if os.path.isdir(os.path.join(self.directory, name)))
+            except OSError:
+                return 0
+        else:
+            fingerprints = [self.fingerprint]
+        moved = 0
+        for fingerprint in fingerprints:
+            sub = os.path.join(self.directory, fingerprint)
+            try:
+                names = sorted(os.listdir(sub))
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                shard = os.path.join(sub, shard_of(name))
+                try:
+                    os.makedirs(shard, exist_ok=True)
+                    os.replace(os.path.join(sub, name),
+                               os.path.join(shard, name))
+                    moved += 1
+                except OSError:
+                    continue
+        return moved
 
     def prune(self, max_age_days=None, max_bytes=None):
         """Prune old / excess entries across *all* fingerprints (stale
@@ -279,15 +380,10 @@ class ResultCache:
         else:
             roots = [os.path.join(self.directory, self.fingerprint)]
         for root in roots:
-            try:
-                names = os.listdir(root)
-            except OSError:
-                continue
-            for name in names:
-                if name.endswith(".json"):
-                    try:
-                        os.unlink(os.path.join(root, name))
-                        removed += 1
-                    except OSError:
-                        pass
+            for _name, path in list(iter_entries(root)):
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
         return removed

@@ -8,17 +8,28 @@ Resolution order for each job in a batch:
 2. **disk cache** — results persisted by previous processes
    (:mod:`repro.harness.cache`), keyed by job hash + code fingerprint;
 3. **simulation** — remaining jobs are deduplicated and fanned out over
-   a ``multiprocessing`` pool (``REPRO_JOBS`` workers by default).
-   Workers rebuild programs from the job spec and ship stats back as
-   plain dicts; the serial path round-trips through the same dict
-   representation so parallel and serial batches are byte-identical.
+   a supervised :class:`ProcessPool` (``REPRO_JOBS`` workers by
+   default). Workers rebuild programs from the job spec and ship stats
+   back as plain dicts; the serial path round-trips through the same
+   dict representation so parallel and serial batches are
+   byte-identical.
 
 Per-job failures are captured, not propagated mid-batch: every job
 either yields stats or an error entry, and ``strict`` batches raise a
-single :class:`JobFailure` naming all failed jobs at the end.
+single :class:`JobFailure` naming all failed jobs at the end. Unlike
+``multiprocessing.Pool`` — which silently respawns a worker killed
+mid-task and leaves the consumer waiting forever for the lost result —
+the pool supervises one dedicated process per in-flight job, so a
+killed worker resolves its job to an error carrying the captured exit
+code, and a job past its wall-clock deadline (``wall_seconds`` or the
+``REPRO_JOB_TIMEOUT`` default) is terminated instead of hanging the
+batch. The service broker (:mod:`repro.service.broker`) leases jobs
+onto the same pool.
 """
 
 import os
+import queue as queue_mod
+import time
 import traceback
 
 from repro.harness.cache import ResultCache
@@ -77,15 +88,31 @@ def default_jobs():
     return value
 
 
-def _run_one(job):
+def default_job_timeout():
+    """Wall-clock timeout from ``REPRO_JOB_TIMEOUT`` (None when off)."""
+    from repro.config import envreg
+    value = envreg.get("REPRO_JOB_TIMEOUT")
+    return float(value) if value and value > 0 else None
+
+
+def _run_one(job, timeout=None):
     """Execute one job; returns ``(job_hash, ok, payload)`` where the
     payload is a stats dict on success or a traceback string on error.
-    Runs in pool workers and in the serial fallback alike."""
+    Runs in pool workers and in the serial fallback alike. ``timeout``
+    arms a wall-clock guard for jobs without their own
+    ``wall_seconds`` (which :func:`execute` already enforces)."""
+    from repro.harness.jobs import _WallClock
     try:
-        stats = execute(job)
+        with _WallClock(None if job.wall_seconds else timeout):
+            stats = execute(job)
         return job.job_hash(), True, stats.as_dict()
     except Exception:
         return job.job_hash(), False, traceback.format_exc()
+
+
+def _pool_worker(job, timeout, results):
+    """Entry point of one dedicated worker process."""
+    results.put(_run_one(job, timeout))
 
 
 def _pool_context():
@@ -94,6 +121,135 @@ def _pool_context():
         return multiprocessing.get_context("fork")
     except ValueError:
         return multiprocessing.get_context()
+
+
+class _Slot:
+    """One in-flight job: its process and parent-side deadline."""
+
+    __slots__ = ("proc", "job", "deadline", "timeout")
+
+    def __init__(self, proc, job, deadline, timeout):
+        self.proc = proc
+        self.job = job
+        self.deadline = deadline
+        self.timeout = timeout
+
+
+class ProcessPool:
+    """Bounded fan-out of jobs over dedicated, supervised processes.
+
+    Each submitted job runs in its own process (crash isolation: a
+    worker that dies takes exactly one job with it, and its exit code
+    is captured). :meth:`poll` resolves jobs three ways:
+
+    * a result on the queue — success or a captured traceback;
+    * a dead process without a result — ``worker died mid-job (exit
+      code N)``, instead of the silent hang a ``multiprocessing.Pool``
+      exhibits when a worker is SIGKILLed;
+    * a job past its deadline — the process is terminated and the job
+      resolves to a timeout error. The in-worker ``SIGALRM`` guard
+      normally fires first (clean traceback); the parent-side kill is
+      the backstop for workers too wedged to handle the signal.
+    """
+
+    #: Parent-side slack on top of the in-worker SIGALRM guard.
+    GRACE = 2.0
+
+    def __init__(self, n_jobs, job_timeout=None, ctx=None):
+        self.n_jobs = max(1, int(n_jobs))
+        self.job_timeout = job_timeout
+        self.ctx = ctx or _pool_context()
+        self.results = self.ctx.Queue()
+        self.running = {}             # job_hash -> _Slot
+
+    def free_slots(self):
+        return self.n_jobs - len(self.running)
+
+    def submit(self, job):
+        """Start one job on a dedicated process (caller checks slots)."""
+        timeout = job.wall_seconds or self.job_timeout
+        proc = self.ctx.Process(
+            target=_pool_worker,
+            args=(job, None if job.wall_seconds else self.job_timeout,
+                  self.results),
+            daemon=True)
+        proc.start()
+        deadline = (time.monotonic() + timeout + self.GRACE) \
+            if timeout else None
+        self.running[job.job_hash()] = _Slot(proc, job, deadline,
+                                             timeout)
+
+    def _drain(self, out):
+        while True:
+            try:
+                job_hash, ok, payload = self.results.get_nowait()
+            except queue_mod.Empty:
+                return
+            slot = self.running.pop(job_hash, None)
+            if slot is None:          # already resolved (late result)
+                continue
+            slot.proc.join()
+            out.append((slot.job, ok, payload))
+
+    def _reap(self, out):
+        now = time.monotonic()
+        for job_hash, slot in list(self.running.items()):
+            if not slot.proc.is_alive():
+                # The process may have posted its result between our
+                # last drain and its exit; give the queue a moment to
+                # deliver before declaring the worker dead.
+                end = time.monotonic() + 0.25
+                resolved = False
+                while time.monotonic() < end:
+                    self._drain(out)
+                    if job_hash not in self.running:
+                        resolved = True
+                        break
+                    time.sleep(0.01)
+                if resolved:
+                    continue
+                slot = self.running.pop(job_hash)
+                slot.proc.join()
+                out.append((slot.job, False,
+                            "worker died mid-job (exit code %s): %s"
+                            % (slot.proc.exitcode, slot.job.label())))
+            elif slot.deadline is not None and now > slot.deadline:
+                self.running.pop(job_hash)
+                slot.proc.terminate()
+                slot.proc.join(1.0)
+                if slot.proc.is_alive():
+                    slot.proc.kill()
+                    slot.proc.join()
+                out.append((slot.job, False,
+                            "job exceeded wall-clock timeout (%.1fs); "
+                            "worker terminated: %s"
+                            % (slot.timeout, slot.job.label())))
+
+    def poll(self, block=0.0):
+        """Collect finished jobs; returns ``[(job, ok, payload)]``.
+
+        ``block``: seconds to wait for at least one completion (0 =
+        return immediately with whatever is ready)."""
+        out = []
+        deadline = time.monotonic() + block
+        while True:
+            self._drain(out)
+            self._reap(out)
+            if out or time.monotonic() >= deadline:
+                return out
+            time.sleep(0.01)
+
+    def close(self):
+        """Terminate anything still running and release the queue."""
+        for slot in self.running.values():
+            slot.proc.terminate()
+        for slot in self.running.values():
+            slot.proc.join(1.0)
+            if slot.proc.is_alive():
+                slot.proc.kill()
+                slot.proc.join()
+        self.running.clear()
+        self.results.close()
 
 
 def run_batch(jobs, n_jobs=None, cache=None, progress=None, strict=True,
@@ -175,16 +331,24 @@ def run_batch(jobs, n_jobs=None, cache=None, progress=None, strict=True,
                   len(unique), report.memo_hits + report.disk_hits,
                   report.memo_hits, report.disk_hits, len(pending),
                   min(n_jobs, len(pending)))
+        timeout = default_job_timeout()
         if n_jobs > 1 and len(pending) > 1:
-            by_hash = {job.job_hash(): job for job in pending}
-            ctx = _pool_context()
-            with ctx.Pool(min(n_jobs, len(pending))) as pool:
-                for job_hash, ok, payload in pool.imap_unordered(
-                        _run_one, pending):
-                    _absorb(by_hash[job_hash], job_hash, ok, payload)
+            pool = ProcessPool(min(n_jobs, len(pending)),
+                               job_timeout=timeout)
+            try:
+                backlog = iter(pending)
+                next_job = next(backlog, None)
+                while next_job is not None or pool.running:
+                    while next_job is not None and pool.free_slots():
+                        pool.submit(next_job)
+                        next_job = next(backlog, None)
+                    for job, ok, payload in pool.poll(block=0.1):
+                        _absorb(job, job.job_hash(), ok, payload)
+            finally:
+                pool.close()
         else:
             for job in pending:
-                job_hash, ok, payload = _run_one(job)
+                job_hash, ok, payload = _run_one(job, timeout)
                 _absorb(job, job_hash, ok, payload)
 
     for job in jobs:

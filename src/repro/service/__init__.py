@@ -1,0 +1,25 @@
+"""Simulation-as-a-service: job broker, durable store, HTTP API.
+
+The service turns the batch harness into a long-running facility:
+clients POST sweeps, a durable sqlite store collapses overlapping
+submissions onto one content-addressed job row per unique point, an
+async broker leases queued jobs onto supervised worker processes
+(heartbeats, crash detection, bounded retries), and a stdlib HTTP API
+serves states, results and a live event stream. See DESIGN.md
+("Simulation service") for the store schema and lease protocol.
+"""
+
+from repro.service.api import ApiError, ServiceAPI
+from repro.service.broker import Broker, EventHub
+from repro.service.client import ServiceClient, ServiceError, discover
+from repro.service.runtime import ServiceThread, serve
+from repro.service.store import (COUNTER_NAMES, STATES, TERMINAL_STATES,
+                                 JobStore, default_service_dir,
+                                 worker_id)
+
+__all__ = [
+    "ApiError", "ServiceAPI", "Broker", "EventHub", "ServiceClient",
+    "ServiceError", "discover", "ServiceThread", "serve",
+    "COUNTER_NAMES", "STATES", "TERMINAL_STATES", "JobStore",
+    "default_service_dir", "worker_id",
+]

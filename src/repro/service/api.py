@@ -1,0 +1,256 @@
+"""Stdlib HTTP results API for the simulation service.
+
+A deliberately small HTTP/1.1 server on raw asyncio streams — no
+framework, no threads; it shares one event loop (and therefore one
+store connection) with the broker. Routes::
+
+    GET  /healthz             liveness + store directory
+    GET  /counters            dedupe/traffic counters + state counts
+    POST /sweeps              submit a sweep document or a job list
+    GET  /jobs/<hash>         one job: state, attempts, error, stats
+    GET  /sweeps/<id>         sweep summary (per-state counts)
+    GET  /sweeps/<id>/results declared rows with stats for done jobs
+    GET  /events              live progress (server-sent events)
+
+``POST /sweeps`` accepts either ``{"sweep": ..., "scenario": [...]}``
+(a parsed sweep file — the same document ``harness sweep`` reads, so
+clients never need a TOML serialiser) or ``{"jobs": [<decl>, ...]}``
+with explicit :meth:`~repro.harness.jobs.SimJob.decl` payloads.
+Expansion, validation and hashing happen server-side, so every client
+submits *declared* rows and the store's dedupe counters see the full
+overlap between clients.
+
+``/events`` speaks server-sent events (``text/event-stream``): one
+``data: <json>`` line per broker state transition, plus periodic
+keepalive comments so dead clients are noticed and dropped.
+"""
+
+import asyncio
+import json
+
+from repro.log import get_logger
+
+_log = get_logger("service.api")
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            500: "Internal Server Error"}
+
+#: Request body cap (a sweep document is a few KB; a decl list for a
+#: million-point sweep is what the document form exists to avoid).
+MAX_BODY = 8 * 1024 * 1024
+
+
+class ApiError(Exception):
+    """An error that maps to a client-visible HTTP status."""
+
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceAPI:
+    """The HTTP front end over one :class:`JobStore` + broker."""
+
+    def __init__(self, store, broker, host=None, port=None):
+        from repro.config import envreg
+        self.store = store
+        self.broker = broker
+        self.host = host if host is not None \
+            else envreg.get("REPRO_SERVICE_HOST")
+        self.port = port if port is not None \
+            else envreg.get("REPRO_SERVICE_PORT")
+        self.server = None
+        self.bound = None            # (host, port) after start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self):
+        """Bind and start serving; returns the bound ``(host, port)``
+        (``port=0`` requests an ephemeral port)."""
+        self.server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        sock = self.server.sockets[0]
+        self.bound = sock.getsockname()[:2]
+        _log.info("api listening on http://%s:%d", *self.bound)
+        return self.bound
+
+    async def stop(self):
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+            self.server = None
+
+    @property
+    def url(self):
+        return "http://%s:%d" % self.bound if self.bound else None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer):
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            if method == "GET" and path == "/events":
+                await self._stream_events(writer)
+                return
+            try:
+                status, payload = self._route(method, path, body)
+            except ApiError as exc:
+                status, payload = exc.status, {"error": str(exc)}
+            except Exception as exc:
+                _log.exception("unhandled API error for %s %s",
+                               method, path)
+                status, payload = 500, {"error": repr(exc)}
+            await self._respond(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop shutdown while a handler (typically the /events
+            # stream) is parked; exit quietly instead of letting the
+            # cancelled task trip the streams exception callback.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = min(int(value.strip()), MAX_BODY)
+                except ValueError:
+                    length = 0
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _respond(self, writer, status, payload):
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = ("HTTP/1.1 %d %s\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: %d\r\n"
+                "Connection: close\r\n\r\n"
+                % (status, _REASONS.get(status, "?"), len(blob)))
+        writer.write(head.encode("latin-1") + blob)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, method, path, body):
+        path = path.partition("?")[0].rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True, "store": self.store.directory,
+                         "worker": self.broker.worker}
+        if path == "/counters" and method == "GET":
+            return 200, {"counters": self.store.counters(),
+                         "states": self.store.state_counts()}
+        if path == "/sweeps" and method == "POST":
+            return self._submit(body)
+        if path.startswith("/jobs/") and method == "GET":
+            job = self.store.job(path[len("/jobs/"):])
+            if job is None:
+                raise ApiError(404, "unknown job hash")
+            return 200, job
+        if path.startswith("/sweeps/") and method == "GET":
+            rest = path[len("/sweeps/"):]
+            sweep_id, _sep, tail = rest.partition("/")
+            if tail == "results":
+                summary = self.store.sweep_results(sweep_id)
+            elif not tail:
+                summary = self.store.sweep(sweep_id)
+            else:
+                raise ApiError(404, "unknown route")
+            if summary is None:
+                raise ApiError(404, "unknown sweep id")
+            return 200, summary
+        if path in ("/sweeps", "/events", "/counters", "/healthz") \
+                or path.startswith(("/jobs/", "/sweeps/")):
+            raise ApiError(405, "method not allowed")
+        raise ApiError(404, "unknown route")
+
+    def _submit(self, body):
+        from repro.config.sweep import SweepError, sweep_from_dict
+        from repro.harness.jobs import SimJob
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ApiError(400, "request body is not valid JSON")
+        if not isinstance(doc, dict):
+            raise ApiError(400, "request body must be a JSON object")
+
+        name = str(doc.pop("name", "") or "sweep")
+        client = str(doc.pop("client", "") or "") or None
+        try:
+            if "jobs" in doc:
+                decls = doc["jobs"]
+                if not isinstance(decls, list) or not decls:
+                    raise ApiError(400, "'jobs' must be a non-empty "
+                                        "list of job declarations")
+                entries = [("adhoc", SimJob.from_decl(decl))
+                           for decl in decls]
+            else:
+                plan = sweep_from_dict(doc).expand()
+                name = plan.sweep.name if name == "sweep" else name
+                entries = [(entry.scenario, entry.job)
+                           for entry in plan.entries]
+        except ApiError:
+            raise
+        except (SweepError, KeyError, ValueError, TypeError) as exc:
+            raise ApiError(400, "invalid submission: %s" % exc)
+
+        sweep_id, rows = self.store.submit(entries, name=name,
+                                           client=client)
+        return 202, {"sweep_id": sweep_id, "name": name,
+                     "declared": len(rows),
+                     "unique": len({row["job_hash"] for row in rows}),
+                     "jobs": rows,
+                     "counters": self.store.counters()}
+
+    # ------------------------------------------------------------------
+    # Live progress stream
+    # ------------------------------------------------------------------
+    async def _stream_events(self, writer):
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-cache\r\n"
+                     b"Connection: close\r\n\r\n")
+        snapshot = {"type": "snapshot",
+                    "counters": self.store.counters(),
+                    "states": self.store.state_counts()}
+        writer.write(b"data: " + json.dumps(
+            snapshot, sort_keys=True).encode("utf-8") + b"\n\n")
+        await writer.drain()
+        queue = self.broker.hub.subscribe()
+        try:
+            while True:
+                try:
+                    event = await asyncio.wait_for(queue.get(), 5.0)
+                    writer.write(b"data: " + json.dumps(
+                        event, sort_keys=True).encode("utf-8") + b"\n\n")
+                except asyncio.TimeoutError:
+                    writer.write(b": keepalive\n\n")
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self.broker.hub.unsubscribe(queue)

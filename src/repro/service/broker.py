@@ -1,0 +1,160 @@
+"""Async job broker: leases queued jobs onto a local worker pool.
+
+One broker supervises one host's worker processes. Its ``run`` loop is
+a plain asyncio task that, every tick:
+
+1. **reaps** stale leases in the store (crash detection for *other*
+   hosts — or a previous life of this one — that stopped
+   heartbeating);
+2. **claims** queued jobs while local pool slots are free. A claim is
+   re-probed against the shared result cache first, so a result
+   published by another host since submission is served without
+   burning a worker;
+3. **collects** finished workers from the
+   :class:`~repro.harness.runner.ProcessPool` — success persists stats
+   through the shared cache, failure consumes retry budget (requeue,
+   then ``failed``). A worker killed mid-job surfaces here with its
+   captured exit code instead of hanging the pool;
+4. **heartbeats** every lease it holds, on behalf of its (busy,
+   single-threaded) workers. A broker host that dies stops
+   heartbeating, and any surviving broker's next reap requeues its
+   jobs — that is the cluster's whole crash story.
+
+Every state transition is published to the :class:`EventHub`, which
+the HTTP API's ``/events`` stream fans out to live clients.
+"""
+
+import asyncio
+import time
+
+from repro.config import envreg
+from repro.harness.runner import ProcessPool, default_job_timeout
+from repro.log import get_logger
+from repro.service.store import worker_id
+
+_log = get_logger("service.broker")
+
+
+class EventHub:
+    """Fan-out of broker progress events to asyncio subscribers.
+
+    Subscribers get bounded queues: a stalled ``/events`` client drops
+    its oldest events rather than stalling the broker.
+    """
+
+    def __init__(self, maxsize=256):
+        self.maxsize = maxsize
+        self._subscribers = []
+
+    def subscribe(self):
+        queue = asyncio.Queue(maxsize=self.maxsize)
+        self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue):
+        try:
+            self._subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    def publish(self, event):
+        for queue in self._subscribers:
+            try:
+                queue.put_nowait(event)
+            except asyncio.QueueFull:
+                try:
+                    queue.get_nowait()
+                    queue.put_nowait(event)
+                except (asyncio.QueueEmpty,
+                        asyncio.QueueFull):   # pragma: no cover
+                    pass
+
+
+class Broker:
+    """The per-host serving loop (see module docstring)."""
+
+    def __init__(self, store, workers=None, lease_ttl=None,
+                 job_timeout=None, poll_interval=0.05):
+        self.store = store
+        if workers is None:
+            workers = envreg.get("REPRO_SERVICE_WORKERS")
+        if workers <= 0:
+            import os
+            workers = os.cpu_count() or 1
+        self.workers = int(workers)
+        self.lease_ttl = float(lease_ttl if lease_ttl is not None
+                               else envreg.get("REPRO_SERVICE_LEASE_TTL"))
+        self.job_timeout = job_timeout if job_timeout is not None \
+            else default_job_timeout()
+        self.poll_interval = poll_interval
+        self.worker = worker_id()
+        self.hub = EventHub()
+        self.pool = None
+        self._last_heartbeat = 0.0
+
+    # ------------------------------------------------------------------
+    def _publish(self, job_hash, state, detail=None):
+        from repro.obs.events import JobStateEvent
+        self.hub.publish(JobStateEvent(time.time(), job_hash, state,
+                                       detail).as_dict())
+
+    def tick(self):
+        """One synchronous scheduling pass (also driven directly by
+        tests — the async loop adds nothing but pacing)."""
+        store, pool = self.store, self.pool
+
+        for job_hash, state in store.reap(self.lease_ttl):
+            _log.warning("lease lost: %s -> %s", job_hash, state)
+            self._publish(job_hash, state, "heartbeat stale")
+
+        while pool.free_slots():
+            claimed = store.claim(self.worker)
+            if claimed is None:
+                break
+            job_hash, job = claimed
+            cached = store.cache.get(job)
+            if cached is not None:
+                store.complete(job_hash, self.worker, cached,
+                               source="cache")
+                self._publish(job_hash, "done", "cache")
+                continue
+            pool.submit(job)
+            self._publish(job_hash, "running")
+
+        for job, ok, payload in pool.poll(0):
+            job_hash = job.job_hash()
+            if ok:
+                store.complete(job_hash, self.worker, payload)
+                self._publish(job_hash, "done")
+            else:
+                state = store.fail(job_hash, self.worker, payload)
+                _log.warning("job %s failed (-> %s): %s", job_hash,
+                             state, str(payload).strip()
+                             .splitlines()[-1])
+                self._publish(job_hash, state or "failed",
+                              str(payload).strip().splitlines()[-1])
+
+        now = time.monotonic()
+        if now - self._last_heartbeat >= self.lease_ttl / 3.0:
+            store.heartbeat(list(pool.running), self.worker)
+            self._last_heartbeat = now
+
+    async def run(self, stop):
+        """Serve until ``stop`` (an :class:`asyncio.Event`) is set."""
+        self.pool = ProcessPool(self.workers,
+                                job_timeout=self.job_timeout)
+        _log.info("broker %s: %d worker slot(s), lease ttl %.1fs",
+                  self.worker, self.workers, self.lease_ttl)
+        try:
+            while not stop.is_set():
+                self.tick()
+                try:
+                    await asyncio.wait_for(stop.wait(),
+                                           self.poll_interval)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            # Anything still running is abandoned; its lease goes
+            # stale and the next broker (or our next life) reaps it.
+            self.pool.close()
+            self.pool = None

@@ -1,0 +1,143 @@
+"""Stdlib HTTP client for the simulation service.
+
+``ServiceClient`` wraps :mod:`http.client` (one connection per
+request — the API closes connections anyway) and knows how to find a
+server either from an explicit URL or from the ``endpoint.json`` a
+running server drops into its store directory. This is what ``harness
+submit`` uses, and what tests drive against a live ephemeral-port
+server.
+"""
+
+import http.client
+import json
+import os
+import time
+import urllib.parse
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (or unreachable server)."""
+
+    def __init__(self, status, message):
+        super().__init__("HTTP %s: %s" % (status, message))
+        self.status = status
+
+
+def discover(directory):
+    """URL of the server publishing ``endpoint.json`` in
+    ``directory`` (a service store dir); None when no server has
+    registered there."""
+    path = os.path.join(directory, "endpoint.json")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)["url"]
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+class ServiceClient:
+    """Talk to one simulation service over HTTP."""
+
+    def __init__(self, url=None, directory=None, timeout=30.0):
+        if url is None and directory is not None:
+            url = discover(directory)
+        if url is None:
+            raise ServiceError("n/a", "no service URL: pass url= or a "
+                               "store directory with endpoint.json")
+        parsed = urllib.parse.urlsplit(url)
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method, path, payload=None):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            blob = response.read()
+        finally:
+            conn.close()
+        try:
+            doc = json.loads(blob.decode("utf-8")) if blob else {}
+        except ValueError:
+            doc = {"error": blob.decode("utf-8", "replace")}
+        if response.status >= 400:
+            raise ServiceError(response.status,
+                               doc.get("error", "request failed"))
+        return doc
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def healthz(self):
+        return self._request("GET", "/healthz")
+
+    def counters(self):
+        return self._request("GET", "/counters")
+
+    def submit(self, doc, name=None, client=None):
+        """Submit a sweep document (parsed sweep-file dict) or
+        ``{"jobs": [decl, ...]}``; returns the server's 202 payload."""
+        doc = dict(doc)
+        if name:
+            doc["name"] = name
+        if client:
+            doc["client"] = client
+        return self._request("POST", "/sweeps", doc)
+
+    def job(self, job_hash):
+        return self._request("GET", "/jobs/%s" % job_hash)
+
+    def sweep(self, sweep_id):
+        return self._request("GET", "/sweeps/%s" % sweep_id)
+
+    def results(self, sweep_id):
+        return self._request("GET", "/sweeps/%s/results" % sweep_id)
+
+    def wait(self, sweep_id, timeout=300.0, poll=0.25):
+        """Block until every job of a sweep is terminal; returns the
+        final ``results`` payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            summary = self.sweep(sweep_id)
+            if summary.get("complete"):
+                return self.results(sweep_id)
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    "timeout", "sweep %s not complete after %.0fs: %s"
+                    % (sweep_id, timeout, summary.get("states")))
+            time.sleep(poll)
+
+    def events(self, limit=None, timeout=None):
+        """Generator over ``/events`` SSE payloads (decoded dicts).
+
+        Reads until ``limit`` events arrived, the socket times out
+        (``timeout`` seconds per read), or the server closes."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+        try:
+            conn.request("GET", "/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceError(response.status, "events stream "
+                                   "refused")
+            count = 0
+            while limit is None or count < limit:
+                line = response.fp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line.startswith(b"data: "):
+                    continue            # keepalive comment or blank
+                yield json.loads(line[len(b"data: "):].decode("utf-8"))
+                count += 1
+        finally:
+            conn.close()

@@ -1,0 +1,150 @@
+"""Service orchestration: wire store + broker + HTTP API together.
+
+:func:`serve` is the blocking entry point behind ``harness serve``:
+it opens (or creates) the store, starts the broker loop and the HTTP
+server on one event loop, publishes ``endpoint.json`` into the store
+directory so clients can discover the URL, and runs until interrupted.
+
+:class:`ServiceThread` runs the same stack on a background thread —
+the test harness's way to stand up a real live server on an ephemeral
+port inside one process, then tear it down deterministically.
+"""
+
+import asyncio
+import json
+import os
+import threading
+
+from repro.log import get_logger
+from repro.service.broker import Broker
+from repro.service.api import ServiceAPI
+from repro.service.store import JobStore
+
+_log = get_logger("service.runtime")
+
+
+def _write_endpoint(directory, bound):
+    doc = {"host": bound[0], "port": bound[1], "pid": os.getpid(),
+           "url": "http://%s:%d" % bound}
+    path = os.path.join(directory, "endpoint.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, sort_keys=True)
+    os.replace(tmp, path)
+    return doc
+
+
+def _remove_endpoint(directory):
+    try:
+        os.remove(os.path.join(directory, "endpoint.json"))
+    except OSError:
+        pass
+
+
+async def _serve(store, broker, api, stop, on_ready=None):
+    bound = await api.start()
+    endpoint = _write_endpoint(store.directory, bound)
+    _log.info("service ready: %s (store %s)", endpoint["url"],
+              store.directory)
+    if on_ready is not None:
+        on_ready(endpoint)
+    try:
+        await broker.run(stop)
+    finally:
+        await api.stop()
+        _remove_endpoint(store.directory)
+
+
+def serve(directory=None, host=None, port=None, workers=None,
+          lease_ttl=None, job_timeout=None, stop=None, on_ready=None):
+    """Run the full service until interrupted (or ``stop`` is set by
+    another task). Returns the store's final counters."""
+    store = JobStore(directory)
+    broker = Broker(store, workers=workers, lease_ttl=lease_ttl,
+                    job_timeout=job_timeout)
+    api = ServiceAPI(store, broker, host=host, port=port)
+
+    async def main():
+        stop_event = stop if stop is not None else asyncio.Event()
+        task = asyncio.ensure_future(
+            _serve(store, broker, api, stop_event, on_ready))
+        try:
+            await task
+        except asyncio.CancelledError:
+            stop_event.set()
+            await asyncio.wait_for(task, 10.0)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        _log.info("service interrupted; shutting down")
+    counters = store.counters()
+    store.close()
+    return counters
+
+
+class ServiceThread:
+    """A live service on a daemon thread (tests, CI smoke).
+
+    ::
+
+        with ServiceThread(tmpdir, workers=2) as svc:
+            client = ServiceClient(url=svc.url)
+            ...
+    """
+
+    def __init__(self, directory, host="127.0.0.1", port=0,
+                 workers=1, lease_ttl=None, job_timeout=None):
+        self.directory = directory
+        self._kwargs = dict(host=host, port=port, workers=workers,
+                            lease_ttl=lease_ttl,
+                            job_timeout=job_timeout)
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self.endpoint = None
+        self.thread = None
+
+    # ------------------------------------------------------------------
+    def _main(self):
+        # asyncio.Event has no loop affinity since 3.10, so it can be
+        # created here; the running loop (needed for a thread-safe
+        # stop) is captured inside on_ready, which runs on it.
+        self._stop = asyncio.Event()
+
+        def on_ready(endpoint):
+            self._loop = asyncio.get_running_loop()
+            self.endpoint = endpoint
+            self._ready.set()
+
+        try:
+            serve(self.directory, stop=self._stop,
+                  on_ready=on_ready, **self._kwargs)
+        finally:
+            self._ready.set()      # unblock start() on early failure
+
+    def start(self, timeout=30.0):
+        self.thread = threading.Thread(target=self._main,
+                                       name="repro-service",
+                                       daemon=True)
+        self.thread.start()
+        if not self._ready.wait(timeout) or self.endpoint is None:
+            raise RuntimeError("service thread failed to start")
+        return self
+
+    def stop(self, timeout=30.0):
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self.thread is not None:
+            self.thread.join(timeout)
+
+    @property
+    def url(self):
+        return self.endpoint["url"] if self.endpoint else None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False

@@ -1,0 +1,433 @@
+"""Durable job/result store for the simulation service.
+
+One sqlite database (``<store dir>/store.sqlite3``, WAL mode so
+multiple broker hosts can share the directory over a common
+filesystem) holds every job the service has ever been asked to
+simulate, keyed by the content-addressed ``SimJob`` hash. Result
+payloads do *not* live in sqlite: completed stats go through the
+ordinary sharded :class:`~repro.harness.cache.ResultCache` under
+``<store dir>/results``, so service results and direct ``harness
+run`` results are interchangeable files — byte-identical stats, same
+self-describing entry format, same fingerprint invalidation.
+
+Job state machine::
+
+    queued ──claim──▶ running ──complete──▶ done
+      ▲                  │ │
+      │   fail (attempts left) │ heartbeat stale (attempts left)
+      ├──────────────◀───┘ └───▶────────────┤
+      │                                     │
+      │  fail (attempts exhausted)          │ heartbeat stale
+      └──▶ failed                           └──▶ orphaned
+              (error captured)                   (worker lost)
+
+``failed`` records the captured error of the last execution attempt;
+``orphaned`` marks jobs whose worker (or whole broker host) vanished
+with retries exhausted — nothing was captured, the lease just went
+stale. Submitting a failed/orphaned job again requeues it with a
+fresh retry budget.
+
+Dedupe is structural: the jobs table is keyed by job hash, so any
+number of clients submitting overlapping sweeps share one row — and
+therefore at most one execution — per unique point, cluster-wide.
+The ``counters`` table records the evidence (``submitted`` vs
+``executions`` vs ``dedup_hits``/``cache_hits``).
+"""
+
+import json
+import os
+import socket
+import sqlite3
+import threading
+import time
+
+from repro.config import envreg
+from repro.harness.cache import ResultCache, default_cache_dir
+from repro.harness.jobs import SimJob
+
+#: Every state a job row can be in.
+STATES = ("queued", "running", "done", "failed", "orphaned")
+
+#: States a job never leaves without a new submission.
+TERMINAL_STATES = ("done", "failed", "orphaned")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_hash     TEXT PRIMARY KEY,
+    decl         TEXT NOT NULL,
+    label        TEXT NOT NULL,
+    state        TEXT NOT NULL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 1,
+    worker       TEXT,
+    heartbeat    REAL,
+    error        TEXT,
+    source       TEXT,
+    created      REAL NOT NULL,
+    updated      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, created);
+CREATE TABLE IF NOT EXISTS sweeps (
+    sweep_id     TEXT PRIMARY KEY,
+    name         TEXT NOT NULL,
+    client       TEXT,
+    created      REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sweep_jobs (
+    sweep_id     TEXT NOT NULL,
+    position     INTEGER NOT NULL,
+    scenario     TEXT NOT NULL,
+    workload     TEXT NOT NULL,
+    job_hash     TEXT NOT NULL,
+    PRIMARY KEY (sweep_id, position)
+);
+CREATE TABLE IF NOT EXISTS counters (
+    name         TEXT PRIMARY KEY,
+    value        INTEGER NOT NULL
+);
+"""
+
+#: Counter rows maintained by the store (all start at zero).
+COUNTER_NAMES = ("submitted", "unique_jobs", "dedup_hits", "cache_hits",
+                 "executions", "requeues", "worker_losses", "failures")
+
+
+def default_service_dir():
+    """Store directory from ``REPRO_SERVICE_DIR`` (default
+    ``<cache>/service``)."""
+    value = envreg.get("REPRO_SERVICE_DIR")
+    if value:
+        return value
+    return os.path.join(default_cache_dir(), "service")
+
+
+class JobStore:
+    """sqlite-backed durable job store plus its sharded result cache.
+
+    All mutating methods are single transactions (``BEGIN IMMEDIATE``)
+    so concurrent brokers and API handlers — in this process, in other
+    processes, or on other hosts sharing the directory — serialise on
+    the database's write lock. A ``threading.Lock`` additionally makes
+    one connection safe to share across the serving thread and tests.
+    """
+
+    def __init__(self, directory=None, cache=None):
+        self.directory = directory or default_service_dir()
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, "store.sqlite3")
+        self.db = sqlite3.connect(self.path, timeout=30.0,
+                                  check_same_thread=False)
+        self.db.row_factory = sqlite3.Row
+        self._lock = threading.RLock()
+        with self._lock:
+            self.db.execute("PRAGMA journal_mode=WAL")
+            self.db.execute("PRAGMA synchronous=NORMAL")
+            self.db.executescript(_SCHEMA)
+            for name in COUNTER_NAMES:
+                self.db.execute(
+                    "INSERT OR IGNORE INTO counters VALUES (?, 0)",
+                    (name,))
+            self.db.commit()
+        self.cache = cache if cache is not None else ResultCache(
+            directory=os.path.join(self.directory, "results"))
+
+    def close(self):
+        with self._lock:
+            self.db.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _bump(self, name, by=1):
+        if by:
+            self.db.execute(
+                "UPDATE counters SET value = value + ? WHERE name = ?",
+                (by, name))
+
+    def _job(self, job_hash):
+        return self.db.execute(
+            "SELECT * FROM jobs WHERE job_hash = ?",
+            (job_hash,)).fetchone()
+
+    @staticmethod
+    def _now(now):
+        return time.time() if now is None else now
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, entries, name="sweep", client=None, retries=None,
+               now=None):
+        """Record one sweep submission; returns ``(sweep_id, rows)``.
+
+        ``entries``: ``[(scenario, SimJob)]`` — the *declared* rows, so
+        the dedupe evidence (submitted vs unique) is preserved.
+        Already-known hashes only bump ``dedup_hits``; terminal
+        ``failed``/``orphaned`` rows are requeued with a fresh retry
+        budget; fresh hashes whose result already sits in the shared
+        cache are recorded ``done`` immediately (``cache_hits``) and
+        never reach a worker. Returns per-entry
+        ``[{scenario, workload, job_hash, state}]``.
+        """
+        now = self._now(now)
+        if retries is None:
+            retries = envreg.get("REPRO_SERVICE_RETRIES")
+        max_attempts = 1 + max(0, int(retries))
+        with self._lock:
+            sweep_id = "s%08x" % (self.db.execute(
+                "SELECT COUNT(*) FROM sweeps").fetchone()[0] + 1)
+            self.db.execute("BEGIN IMMEDIATE")
+            self.db.execute(
+                "INSERT INTO sweeps VALUES (?, ?, ?, ?)",
+                (sweep_id, name, client, now))
+            rows = []
+            seen = {}
+            for position, (scenario, job) in enumerate(entries):
+                job_hash = job.job_hash()
+                self._bump("submitted")
+                state = seen.get(job_hash)
+                if state is None:
+                    existing = self._job(job_hash)
+                    if existing is None:
+                        state = "queued"
+                        if self.cache.get(job) is not None:
+                            state = "done"
+                            self._bump("cache_hits")
+                        self.db.execute(
+                            "INSERT INTO jobs (job_hash, decl, label, "
+                            "state, max_attempts, source, created, "
+                            "updated) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                            (job_hash, json.dumps(job.decl(),
+                                                  sort_keys=True),
+                             job.label(), state, max_attempts,
+                             "cache" if state == "done" else None,
+                             now, now))
+                        self._bump("unique_jobs")
+                    else:
+                        self._bump("dedup_hits")
+                        state = existing["state"]
+                        if state in ("failed", "orphaned"):
+                            # A fresh submission is consent to retry.
+                            state = "queued"
+                            self.db.execute(
+                                "UPDATE jobs SET state='queued', "
+                                "attempts=0, max_attempts=?, error=NULL,"
+                                " worker=NULL, updated=? "
+                                "WHERE job_hash=?",
+                                (max_attempts, now, job_hash))
+                    seen[job_hash] = state
+                else:
+                    self._bump("dedup_hits")
+                self.db.execute(
+                    "INSERT INTO sweep_jobs VALUES (?, ?, ?, ?, ?)",
+                    (sweep_id, position, scenario, job.workload,
+                     job_hash))
+                rows.append({"scenario": scenario,
+                             "workload": job.workload,
+                             "job_hash": job_hash, "state": state})
+            self.db.commit()
+        return sweep_id, rows
+
+    # ------------------------------------------------------------------
+    # Worker protocol: claim / heartbeat / complete / fail / reap
+    # ------------------------------------------------------------------
+    def claim(self, worker, now=None):
+        """Atomically lease the oldest queued job to ``worker``.
+
+        Returns ``(job_hash, SimJob)`` or ``None`` when the queue is
+        empty. The claim bumps ``attempts`` — a lease *is* an
+        execution attempt, so a worker that dies mid-job consumes
+        retry budget."""
+        now = self._now(now)
+        with self._lock:
+            self.db.execute("BEGIN IMMEDIATE")
+            row = self.db.execute(
+                "SELECT job_hash, decl FROM jobs WHERE state='queued' "
+                "ORDER BY created LIMIT 1").fetchone()
+            if row is None:
+                self.db.commit()
+                return None
+            self.db.execute(
+                "UPDATE jobs SET state='running', worker=?, "
+                "heartbeat=?, attempts=attempts+1, updated=? "
+                "WHERE job_hash=?",
+                (worker, now, now, row["job_hash"]))
+            self.db.commit()
+        return row["job_hash"], SimJob.from_decl(json.loads(row["decl"]))
+
+    def heartbeat(self, job_hashes, worker, now=None):
+        """Refresh the lease on every running job ``worker`` holds."""
+        if not job_hashes:
+            return
+        now = self._now(now)
+        with self._lock:
+            self.db.execute("BEGIN IMMEDIATE")
+            for job_hash in job_hashes:
+                self.db.execute(
+                    "UPDATE jobs SET heartbeat=?, updated=? WHERE "
+                    "job_hash=? AND worker=? AND state='running'",
+                    (now, now, job_hash, worker))
+            self.db.commit()
+
+    def complete(self, job_hash, worker, stats_dict, source="run",
+                 now=None):
+        """Mark a running job done and persist its stats.
+
+        ``source='run'`` counts an execution; ``source='cache'`` marks
+        a claim satisfied by a result another host published since
+        submission."""
+        now = self._now(now)
+        with self._lock:
+            row = self._job(job_hash)
+            if row is None:
+                return
+            job = SimJob.from_decl(json.loads(row["decl"]))
+            if source == "run":
+                self.cache.put(job, stats_dict)
+            self.db.execute("BEGIN IMMEDIATE")
+            self.db.execute(
+                "UPDATE jobs SET state='done', worker=?, error=NULL, "
+                "source=?, updated=? WHERE job_hash=?",
+                (worker, source, now, job_hash))
+            self._bump("executions" if source == "run" else
+                       "cache_hits")
+            self.db.commit()
+
+    def fail(self, job_hash, worker, error, now=None):
+        """Record a failed execution attempt: requeue while retry
+        budget remains, else ``failed`` with the captured error.
+        Returns the resulting state."""
+        now = self._now(now)
+        with self._lock:
+            row = self._job(job_hash)
+            if row is None:
+                return None
+            retryable = row["attempts"] < row["max_attempts"]
+            state = "queued" if retryable else "failed"
+            self.db.execute("BEGIN IMMEDIATE")
+            self.db.execute(
+                "UPDATE jobs SET state=?, worker=NULL, error=?, "
+                "updated=? WHERE job_hash=?",
+                (state, str(error), now, job_hash))
+            self._bump("requeues" if retryable else "failures")
+            self.db.commit()
+        return state
+
+    def reap(self, lease_ttl, now=None):
+        """Requeue (or orphan) running jobs whose heartbeat went stale.
+
+        Crash detection for *hosts*: a broker that dies stops
+        heartbeating the leases it supervises, and any surviving
+        broker's next reap pass recovers them. Returns
+        ``[(job_hash, new_state)]``."""
+        now = self._now(now)
+        out = []
+        with self._lock:
+            self.db.execute("BEGIN IMMEDIATE")
+            rows = self.db.execute(
+                "SELECT job_hash, attempts, max_attempts, worker FROM "
+                "jobs WHERE state='running' AND heartbeat < ?",
+                (now - lease_ttl,)).fetchall()
+            for row in rows:
+                retryable = row["attempts"] < row["max_attempts"]
+                state = "queued" if retryable else "orphaned"
+                error = None if retryable else (
+                    "worker %s lost (heartbeat stale after %d "
+                    "attempt(s))" % (row["worker"], row["attempts"]))
+                self.db.execute(
+                    "UPDATE jobs SET state=?, worker=NULL, error=?, "
+                    "updated=? WHERE job_hash=?",
+                    (state, error, now, row["job_hash"]))
+                self._bump("worker_losses")
+                if retryable:
+                    self._bump("requeues")
+                out.append((row["job_hash"], state))
+            self.db.commit()
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def job(self, job_hash, with_stats=True):
+        """Public description of one job, or None. Includes the stats
+        dict for ``done`` jobs when ``with_stats``."""
+        with self._lock:
+            row = self._job(job_hash)
+        if row is None:
+            return None
+        out = {"job_hash": row["job_hash"], "state": row["state"],
+               "label": row["label"], "attempts": row["attempts"],
+               "max_attempts": row["max_attempts"],
+               "worker": row["worker"], "error": row["error"],
+               "source": row["source"],
+               "decl": json.loads(row["decl"])}
+        if with_stats and row["state"] == "done":
+            out["stats"] = self.cache.get(
+                SimJob.from_decl(out["decl"]))
+        return out
+
+    def sweep(self, sweep_id):
+        """Summary of one sweep: per-state counts + completion flag."""
+        with self._lock:
+            head = self.db.execute(
+                "SELECT * FROM sweeps WHERE sweep_id=?",
+                (sweep_id,)).fetchone()
+            if head is None:
+                return None
+            rows = self.db.execute(
+                "SELECT j.state AS state, COUNT(*) AS n FROM sweep_jobs"
+                " s JOIN jobs j ON j.job_hash = s.job_hash WHERE "
+                "s.sweep_id=? GROUP BY j.state", (sweep_id,)).fetchall()
+        states = {row["state"]: row["n"] for row in rows}
+        declared = sum(states.values())
+        terminal = sum(states.get(state, 0)
+                       for state in TERMINAL_STATES)
+        return {"sweep_id": sweep_id, "name": head["name"],
+                "declared": declared, "states": states,
+                "complete": declared > 0 and terminal == declared}
+
+    def sweep_results(self, sweep_id, with_stats=True):
+        """Every declared row of a sweep with its job state (and stats
+        for done jobs); None for an unknown sweep id."""
+        summary = self.sweep(sweep_id)
+        if summary is None:
+            return None
+        with self._lock:
+            rows = self.db.execute(
+                "SELECT s.position, s.scenario, s.workload, "
+                "j.job_hash, j.state, j.label, j.error, j.decl "
+                "FROM sweep_jobs s JOIN jobs j ON j.job_hash = "
+                "s.job_hash WHERE s.sweep_id=? ORDER BY s.position",
+                (sweep_id,)).fetchall()
+        entries = []
+        for row in rows:
+            entry = {"scenario": row["scenario"],
+                     "workload": row["workload"],
+                     "job_hash": row["job_hash"],
+                     "label": row["label"], "state": row["state"],
+                     "error": row["error"]}
+            if with_stats and row["state"] == "done":
+                entry["stats"] = self.cache.get(
+                    SimJob.from_decl(json.loads(row["decl"])))
+            entries.append(entry)
+        summary["entries"] = entries
+        return summary
+
+    def counters(self):
+        """All dedupe/traffic counters as a dict."""
+        with self._lock:
+            rows = self.db.execute("SELECT * FROM counters").fetchall()
+        return {row["name"]: row["value"] for row in rows}
+
+    def state_counts(self):
+        """``{state: count}`` over the whole jobs table."""
+        with self._lock:
+            rows = self.db.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        return {row["state"]: row["n"] for row in rows}
+
+
+def worker_id():
+    """Stable-ish identity of this broker process for lease rows."""
+    return "%s:%d" % (socket.gethostname(), os.getpid())

@@ -231,9 +231,10 @@ def test_cli_sweep_runs_and_persists_snapshots(tmp_cache, tmp_path):
     for entry in payload["entries"]:
         assert entry["stats"]["committed_insts"] > 0
     # every cached result carries its resolved snapshot + hashes
+    # (entries live in 2-hex hash-prefix shard directories)
     assert tmp_cache.entries() == 3
     files = glob.glob(os.path.join(tmp_cache.directory,
-                                   tmp_cache.fingerprint, "*.json"))
+                                   tmp_cache.fingerprint, "??", "*.json"))
     assert len(files) == 3
     for path in files:
         with open(path, "r", encoding="utf-8") as handle:
@@ -241,6 +242,8 @@ def test_cli_sweep_runs_and_persists_snapshots(tmp_cache, tmp_path):
         assert entry["job"]["config"]["core.width"] == 8
         assert len(entry["config_hash"]) == 24
         assert os.path.basename(path) == entry["job_hash"] + ".json"
+        shard = os.path.basename(os.path.dirname(path))
+        assert entry["job_hash"].startswith(shard)
 
 
 def test_cli_sweep_rejects_bad_file(tmp_cache, tmp_path, capsys):

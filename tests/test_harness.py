@@ -216,3 +216,80 @@ def test_cli_list_and_cache(tmp_cache, capsys):
     out = io.StringIO()
     assert cli_main(["cache"], out=out) == 0
     assert "fingerprint" in out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Sharded cache layout + flat-layout migration
+# ---------------------------------------------------------------------------
+def test_put_writes_sharded_layout(tmp_cache):
+    from repro.harness.cache import shard_of
+
+    job = SimJob("linear-mispred", "baseline", _SCALE)
+    tmp_cache.put(job, {"ipc": 1.0})
+    job_hash = job.job_hash()
+    expected = (f"{tmp_cache.directory}/{tmp_cache.fingerprint}/"
+                f"{shard_of(job_hash)}/{job_hash}.json")
+    import os
+    assert os.path.exists(expected)
+    assert tmp_cache.entries() == 1
+    assert tmp_cache.flat_entries() == 0
+    assert tmp_cache.get(job) == {"ipc": 1.0}
+
+
+def test_flat_layout_read_through_and_migrate(tmp_cache):
+    import os
+
+    job = SimJob("linear-mispred", "baseline", _SCALE)
+    # Plant an entry in the pre-sharding flat layout by hand.
+    sub = os.path.join(tmp_cache.directory, tmp_cache.fingerprint)
+    os.makedirs(sub, exist_ok=True)
+    with open(os.path.join(sub, job.job_hash() + ".json"), "w") as fh:
+        json.dump({"stats": {"ipc": 2.5}}, fh)
+
+    assert tmp_cache.flat_entries() == 1
+    assert tmp_cache.entries() == 1
+    # Read-through serves the legacy entry without migration...
+    assert tmp_cache.get(job) == {"ipc": 2.5}
+    # ...and migrate moves it into its shard, preserving the payload.
+    assert tmp_cache.migrate() == 1
+    assert tmp_cache.flat_entries() == 0
+    assert tmp_cache.entries() == 1
+    assert tmp_cache.get(job) == {"ipc": 2.5}
+    assert tmp_cache.migrate() == 0          # idempotent
+
+
+def test_prune_and_orphans_walk_shards(tmp_cache):
+    import os
+
+    job = SimJob("linear-mispred", "baseline", _SCALE)
+    tmp_cache.put(job, {"ipc": 1.0})
+    # A stale fingerprint with one sharded and one flat entry.
+    stale = os.path.join(tmp_cache.directory, "deadbeefdeadbeef")
+    os.makedirs(os.path.join(stale, "ab"), exist_ok=True)
+    for path in (os.path.join(stale, "ab", "abcd.json"),
+                 os.path.join(stale, "1234.json")):
+        with open(path, "w") as fh:
+            json.dump({"stats": {}}, fh)
+
+    orphans, stale_count = tmp_cache.orphaned()
+    assert orphans == 2 and stale_count == 1
+    # Age-based pruning reaches entries inside shard directories.
+    removed = tmp_cache.prune(max_age_days=0.0)
+    assert removed == 3
+    assert tmp_cache.entries() == 0
+
+
+def test_cli_cache_migrate(tmp_cache, capsys):
+    import os
+
+    job = SimJob("linear-mispred", "baseline", _SCALE)
+    sub = os.path.join(tmp_cache.directory, tmp_cache.fingerprint)
+    os.makedirs(sub, exist_ok=True)
+    with open(os.path.join(sub, job.job_hash() + ".json"), "w") as fh:
+        json.dump({"stats": {"ipc": 3.0}}, fh)
+
+    out = io.StringIO()
+    assert cli_main(["cache", "migrate"], out=out) == 0
+    assert "migrated 1 flat-layout result(s)" in out.getvalue()
+    assert tmp_cache.flat_entries() == 0
+    assert tmp_cache.get(job) == {"ipc": 3.0}

@@ -1,0 +1,146 @@
+"""HTTP round-trips against a live service on an ephemeral port."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.harness.jobs import SimJob
+from repro.service import ServiceClient, ServiceError, ServiceThread
+
+_SCALE = 0.02
+
+_SWEEP_DOC = {
+    "sweep": {"name": "api-test", "workloads": ["linear-mispred"],
+              "scale": _SCALE},
+    "scenario": [
+        {"name": "baseline", "kind": "baseline"},
+        # Declares the same point again: dedupe must collapse it.
+        {"name": "baseline-dup", "kind": "baseline"},
+        {"name": "mssr", "kind": "mssr",
+         "set": {"mssr": {"num_streams": 2}}},
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("svc"))
+    with ServiceThread(directory, workers=2, lease_ttl=15.0) as svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(url=service.url)
+
+
+def test_healthz_and_discovery(service):
+    # Discovery through endpoint.json must reach the same server.
+    client = ServiceClient(directory=service.directory)
+    health = client.healthz()
+    assert health["ok"] is True
+    assert health["store"] == service.directory
+
+
+def test_submit_wait_results_roundtrip(client):
+    reply = client.submit(dict(_SWEEP_DOC), client="t1")
+    assert reply["declared"] == 3
+    assert reply["unique"] == 2
+    sweep_id = reply["sweep_id"]
+
+    results = client.wait(sweep_id, timeout=90.0)
+    assert results["complete"]
+    assert [e["scenario"] for e in results["entries"]] == \
+        ["baseline", "baseline-dup", "mssr"]
+    assert all(e["state"] == "done" for e in results["entries"])
+    base, dup, mssr = results["entries"]
+    assert base["job_hash"] == dup["job_hash"]
+    assert base["stats"] == dup["stats"]
+    assert mssr["stats"] != base["stats"]
+
+    job = client.job(base["job_hash"])
+    assert job["state"] == "done"
+    assert job["stats"] == base["stats"]
+
+    summary = client.sweep(sweep_id)
+    assert summary["declared"] == 3 and summary["complete"]
+
+
+def test_two_clients_overlapping_sweeps_run_each_point_once(client):
+    """Acceptance: concurrent clients submitting the same sweep share
+    one execution per unique point, cluster-wide."""
+    before = client.counters()["counters"]
+    doc = dict(_SWEEP_DOC)
+    r1 = client.submit(doc, name="overlap", client="c1")
+    r2 = client.submit(doc, name="overlap", client="c2")
+    client.wait(r1["sweep_id"], timeout=90.0)
+    client.wait(r2["sweep_id"], timeout=90.0)
+    after = client.counters()["counters"]
+    # Both points already ran for an earlier test sweep: the overlap
+    # submissions must not execute anything new.
+    assert after["executions"] == before["executions"]
+    assert after["submitted"] == before["submitted"] + 6
+    assert after["dedup_hits"] == before["dedup_hits"] + 6
+
+
+def test_submit_explicit_job_decls(client):
+    job = SimJob("linear-mispred", "mssr", _SCALE, {"streams": 4})
+    reply = client.submit({"jobs": [job.decl(), job.decl()]},
+                          name="decls")
+    assert reply["declared"] == 2 and reply["unique"] == 1
+    assert reply["jobs"][0]["job_hash"] == job.job_hash()
+    results = client.wait(reply["sweep_id"], timeout=90.0)
+    assert results["entries"][0]["state"] == "done"
+
+
+def test_events_stream_snapshot_and_progress(client):
+    events = iter(client.events(limit=3, timeout=90.0))
+    snapshot = next(events)
+    assert snapshot["type"] == "snapshot"
+    assert "counters" in snapshot and "states" in snapshot
+
+    job = SimJob("nested-mispred", "baseline", _SCALE)
+    client.submit({"jobs": [job.decl()]})
+    seen = [next(events), next(events)]
+    assert [e["state"] for e in seen] == ["running", "done"]
+    assert all(e["job_hash"] == job.job_hash() for e in seen)
+
+
+def test_http_errors(client):
+    with pytest.raises(ServiceError) as exc:
+        client.job("no-such-hash")
+    assert exc.value.status == 404
+    with pytest.raises(ServiceError) as exc:
+        client.sweep("s_bogus")
+    assert exc.value.status == 404
+    with pytest.raises(ServiceError) as exc:
+        client._request("DELETE", "/counters")
+    assert exc.value.status == 405
+    with pytest.raises(ServiceError) as exc:
+        client._request("GET", "/definitely/not/a/route")
+    assert exc.value.status == 404
+    with pytest.raises(ServiceError) as exc:
+        client.submit({"jobs": []})
+    assert exc.value.status == 400
+    with pytest.raises(ServiceError) as exc:
+        client.submit({"sweep": {"workloads": ["no-such-workload"]},
+                       "scenario": [{"name": "x", "kind": "baseline"}]})
+    assert exc.value.status == 400
+
+
+def test_cli_submit_wait_against_live_service(service, tmp_path, capsys):
+    sweep_file = tmp_path / "cli.json"
+    sweep_file.write_text(json.dumps(_SWEEP_DOC))
+    rc = cli_main(["submit", str(sweep_file), "--url", service.url,
+                   "--wait", "--timeout", "90"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert 'states {"done": 3}' in out
+    assert "baseline" in out and "mssr" in out
+    assert "ipc=" in out
+
+    rc = cli_main(["submit", str(sweep_file), "--url", service.url])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "3 declared, 2 unique job(s)" in out

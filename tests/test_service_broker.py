@@ -1,0 +1,217 @@
+"""Broker + supervised pool: end-to-end leasing, crash recovery.
+
+The fault-injection trick throughout: the pool forks its workers, so
+a monkeypatch applied to ``repro.harness.runner.execute`` in the
+parent is inherited by every child — a patched function that calls
+``os._exit`` simulates a worker killed mid-job (no traceback, no
+result on the queue, just a corpse with an exit code).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.harness.jobs import SimJob, execute
+from repro.harness.runner import ProcessPool, run_batch
+from repro.service.broker import Broker
+from repro.service.store import JobStore
+
+_SCALE = 0.02
+
+
+def _job(**kwargs):
+    kwargs.setdefault("workload", "linear-mispred")
+    kwargs.setdefault("kind", "baseline")
+    kwargs.setdefault("scale", _SCALE)
+    return SimJob(**kwargs)
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_SERVICE_RETRIES", raising=False)
+    monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+    js = JobStore(str(tmp_path / "svc"))
+    yield js
+    js.close()
+
+
+def _drive(broker, store, deadline=90.0):
+    """Tick the broker until every job is terminal (or we time out)."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        broker.tick()
+        states = store.state_counts()
+        if states and all(state in ("done", "failed", "orphaned")
+                          for state in states):
+            return states
+        time.sleep(0.02)
+    raise AssertionError("jobs never settled: %s"
+                         % store.state_counts())
+
+
+@pytest.fixture
+def broker(store):
+    b = Broker(store, workers=2, lease_ttl=15.0)
+    b.pool = ProcessPool(b.workers, job_timeout=b.job_timeout)
+    yield b
+    b.pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Happy path
+# ---------------------------------------------------------------------------
+def test_broker_executes_and_matches_direct_run(broker, store):
+    """Acceptance: service results are byte-identical to a direct
+    in-process execution of the same job."""
+    job = _job()
+    store.submit([("s", job)])
+    states = _drive(broker, store)
+    assert states == {"done": 1}
+
+    direct = execute(job).as_dict()
+    via_service = store.job(job.job_hash())["stats"]
+    assert json.dumps(via_service, sort_keys=True) == \
+        json.dumps(direct, sort_keys=True)
+    assert store.counters()["executions"] == 1
+
+
+def test_broker_serves_claims_from_shared_cache(broker, store):
+    # A result published between submission and claim (e.g. by another
+    # broker host) is served without burning a worker slot.
+    job = _job()
+    store.submit([("s", job)])
+    store.cache.put(job, {"ipc": 9.9})
+    states = _drive(broker, store)
+    assert states == {"done": 1}
+    counters = store.counters()
+    assert counters["executions"] == 0
+    assert counters["cache_hits"] == 1
+
+
+def test_broker_publishes_lifecycle_events(broker, store):
+    queue = broker.hub.subscribe()
+    store.submit([("s", _job())])
+    _drive(broker, store)
+    events = []
+    while not queue.empty():
+        events.append(queue.get_nowait())
+    states = [event["state"] for event in events]
+    assert states == ["running", "done"]
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery (the PR's acceptance scenario)
+# ---------------------------------------------------------------------------
+def test_killed_worker_requeues_then_completes_identically(
+        broker, store, tmp_path, monkeypatch):
+    """Kill the worker mid-job on the first attempt; the broker must
+    detect the corpse, requeue, and the retry's stats must be
+    byte-identical to a direct run."""
+    marker = tmp_path / "died-once"
+    real_execute = execute
+
+    def flaky(job):
+        if not marker.exists():
+            marker.write_text("x")
+            os._exit(9)          # simulated SIGKILL mid-job
+        return real_execute(job)
+
+    monkeypatch.setattr("repro.harness.runner.execute", flaky)
+    job = _job()
+    store.submit([("s", job)], retries=2)
+    states = _drive(broker, store)
+    assert states == {"done": 1}
+
+    row = store.job(job.job_hash())
+    assert row["attempts"] == 2
+    assert store.counters()["requeues"] == 1
+    direct = real_execute(job).as_dict()
+    assert json.dumps(row["stats"], sort_keys=True) == \
+        json.dumps(direct, sort_keys=True)
+
+
+def test_killed_worker_exhausts_budget_to_failed(
+        broker, store, monkeypatch):
+    def always_dies(_job):
+        os._exit(9)
+
+    monkeypatch.setattr("repro.harness.runner.execute", always_dies)
+    job = _job()
+    store.submit([("s", job)], retries=1)
+    states = _drive(broker, store)
+    assert states == {"failed": 1}
+    row = store.job(job.job_hash())
+    assert row["attempts"] == 2
+    assert "worker died mid-job (exit code 9)" in row["error"]
+    assert store.counters()["failures"] == 1
+
+
+def test_broker_reaps_other_hosts_stale_leases(broker, store):
+    # Another host claimed a job and vanished: its lease predates this
+    # broker. The first tick requeues it, then a local worker runs it.
+    job = _job()
+    store.submit([("s", job)], retries=1)
+    store.claim("dead-host:1", now=time.time() - 3600.0)
+    states = _drive(broker, store)
+    assert states == {"done": 1}
+    counters = store.counters()
+    assert counters["worker_losses"] == 1
+    assert counters["executions"] == 1
+
+
+# ---------------------------------------------------------------------------
+# ProcessPool fault injection (runner hardening satellite)
+# ---------------------------------------------------------------------------
+def test_pool_captures_exit_code_of_killed_worker(monkeypatch):
+    def dies(_job):
+        os._exit(7)
+
+    monkeypatch.setattr("repro.harness.runner.execute", dies)
+    pool = ProcessPool(1)
+    try:
+        pool.submit(_job())
+        done = pool.poll(block=30.0)
+    finally:
+        pool.close()
+    assert len(done) == 1
+    _job_obj, ok, payload = done[0]
+    assert not ok
+    assert "worker died mid-job (exit code 7)" in payload
+
+
+def test_pool_terminates_job_past_wall_timeout(monkeypatch):
+    def hangs(_job):
+        while True:      # ignores nothing, but never finishes
+            time.sleep(0.1)
+
+    monkeypatch.setattr("repro.harness.runner.execute", hangs)
+    pool = ProcessPool(1, job_timeout=0.5)
+    try:
+        pool.submit(_job())
+        done = pool.poll(block=30.0)
+    finally:
+        pool.close()
+    assert len(done) == 1
+    _job_obj, ok, payload = done[0]
+    assert not ok
+    # Either guard is fine: the in-worker SIGALRM normally fires first
+    # ("wall clock guard expired"); the parent-side kill is the
+    # backstop for wedged workers ("exceeded wall-clock timeout").
+    assert "wall clock guard" in payload \
+        or "exceeded wall-clock timeout" in payload
+
+
+def test_run_batch_surfaces_killed_worker_error(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def dies(_job):
+        os._exit(11)
+
+    monkeypatch.setattr("repro.harness.runner.execute", dies)
+    jobs = [_job(), _job(kind="mssr", params={"streams": 2})]
+    report = run_batch(jobs, n_jobs=2, cache=False, strict=False)
+    assert len(report.errors) == 2
+    for message in report.errors.values():
+        assert "worker died mid-job (exit code 11)" in message

@@ -1,0 +1,192 @@
+"""The durable job store: dedupe, the state machine, leases."""
+
+import json
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.jobs import SimJob
+from repro.service.store import JobStore
+
+_SCALE = 0.05
+
+
+def _job(workload="linear-mispred", kind="baseline", **params):
+    return SimJob(workload, kind, _SCALE, params)
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_SERVICE_RETRIES", raising=False)
+    js = JobStore(str(tmp_path / "svc"))
+    yield js
+    js.close()
+
+
+# ---------------------------------------------------------------------------
+# Submission + dedupe
+# ---------------------------------------------------------------------------
+def test_submit_dedupes_within_one_sweep(store):
+    job = _job()
+    sweep_id, rows = store.submit([("a", job), ("b", job)])
+    assert len(rows) == 2
+    assert rows[0]["job_hash"] == rows[1]["job_hash"]
+    counters = store.counters()
+    assert counters["submitted"] == 2
+    assert counters["unique_jobs"] == 1
+    assert counters["dedup_hits"] == 1
+    assert store.sweep(sweep_id)["declared"] == 2
+
+
+def test_submit_dedupes_across_clients(store):
+    jobs = [("s", _job()), ("s", _job(kind="mssr", streams=2))]
+    store.submit(jobs, client="client-1")
+    store.submit(jobs, client="client-2")
+    counters = store.counters()
+    assert counters["submitted"] == 4
+    assert counters["unique_jobs"] == 2
+    assert counters["dedup_hits"] == 2
+    assert store.state_counts() == {"queued": 2}
+
+
+def test_submit_serves_preexisting_cache_result(tmp_path):
+    directory = str(tmp_path / "svc")
+    job = _job()
+    # A result published by a direct `harness run` against the same
+    # results directory satisfies the submission without any worker.
+    ResultCache(directory=directory + "/results").put(job, {"ipc": 1.0})
+    store = JobStore(directory)
+    _sweep, rows = store.submit([("s", job)])
+    assert rows[0]["state"] == "done"
+    assert store.counters()["cache_hits"] == 1
+    assert store.claim("w") is None
+    assert store.job(job.job_hash())["stats"] == {"ipc": 1.0}
+    store.close()
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle: claim -> heartbeat -> complete / fail
+# ---------------------------------------------------------------------------
+def test_claim_complete_lifecycle(store):
+    job = _job()
+    sweep_id, _rows = store.submit([("s", job)])
+    claimed = store.claim("w1", now=100.0)
+    assert claimed is not None
+    job_hash, rebuilt = claimed
+    assert rebuilt.job_hash() == job.job_hash() == job_hash
+    assert store.claim("w2") is None          # nothing else queued
+
+    row = store.job(job_hash)
+    assert row["state"] == "running" and row["attempts"] == 1
+
+    store.complete(job_hash, "w1", {"ipc": 2.0})
+    row = store.job(job_hash)
+    assert row["state"] == "done"
+    assert row["stats"] == {"ipc": 2.0}
+    assert store.counters()["executions"] == 1
+    summary = store.sweep(sweep_id)
+    assert summary["complete"] and summary["states"] == {"done": 1}
+
+
+def test_fail_requeues_until_budget_exhausted(store):
+    job = _job()
+    store.submit([("s", job)], retries=1)     # max_attempts = 2
+    job_hash, _ = store.claim("w1")
+    assert store.fail(job_hash, "w1", "boom 1") == "queued"
+    assert store.counters()["requeues"] == 1
+
+    job_hash2, _ = store.claim("w1")
+    assert job_hash2 == job_hash
+    assert store.fail(job_hash, "w1", "boom 2") == "failed"
+    row = store.job(job_hash)
+    assert row["state"] == "failed" and row["error"] == "boom 2"
+    assert row["attempts"] == 2
+    assert store.counters()["failures"] == 1
+    assert store.claim("w1") is None
+
+
+def test_resubmission_requeues_failed_job(store):
+    job = _job()
+    store.submit([("s", job)], retries=0)
+    job_hash, _ = store.claim("w1")
+    store.fail(job_hash, "w1", "boom")
+    assert store.job(job_hash)["state"] == "failed"
+
+    _sweep, rows = store.submit([("s", job)], retries=0)
+    assert rows[0]["state"] == "queued"
+    row = store.job(job_hash)
+    assert row["attempts"] == 0 and row["error"] is None
+
+
+# ---------------------------------------------------------------------------
+# Crash detection: heartbeats + reap
+# ---------------------------------------------------------------------------
+def test_reap_requeues_stale_lease(store):
+    job = _job()
+    store.submit([("s", job)], retries=1)
+    job_hash, _ = store.claim("w1", now=100.0)
+    # Fresh lease survives the reaper...
+    assert store.reap(lease_ttl=15.0, now=110.0) == []
+    # ...heartbeats extend it...
+    store.heartbeat([job_hash], "w1", now=114.0)
+    assert store.reap(lease_ttl=15.0, now=125.0) == []
+    # ...and a stale one is requeued (attempt budget remains).
+    assert store.reap(lease_ttl=15.0, now=140.0) == \
+        [(job_hash, "queued")]
+    counters = store.counters()
+    assert counters["worker_losses"] == 1
+    assert counters["requeues"] == 1
+    assert store.job(job_hash)["state"] == "queued"
+
+
+def test_reap_orphans_after_retries_exhausted(store):
+    job = _job()
+    store.submit([("s", job)], retries=0)     # one attempt only
+    job_hash, _ = store.claim("w1", now=100.0)
+    assert store.reap(lease_ttl=15.0, now=200.0) == \
+        [(job_hash, "orphaned")]
+    row = store.job(job_hash)
+    assert row["state"] == "orphaned"
+    assert "w1" in row["error"] and "heartbeat" in row["error"]
+    assert store.claim("w2") is None
+
+
+def test_heartbeat_only_touches_own_running_jobs(store):
+    job = _job()
+    store.submit([("s", job)])
+    job_hash, _ = store.claim("w1", now=100.0)
+    store.heartbeat([job_hash], "somebody-else", now=500.0)
+    # The foreign heartbeat must not refresh w1's lease.
+    assert store.reap(lease_ttl=15.0, now=130.0) == \
+        [(job_hash, "queued")]
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+def test_sweep_results_order_and_errors(store):
+    good, bad = _job(), _job(kind="mssr", streams=2)
+    sweep_id, _rows = store.submit(
+        [("g", good), ("b", bad)], retries=0)
+    job_hash, _ = store.claim("w1")   # oldest first: good
+    store.complete(job_hash, "w1", {"ipc": 1.5})
+    job_hash, _ = store.claim("w1")
+    store.fail(job_hash, "w1", "exploded")
+
+    results = store.sweep_results(sweep_id)
+    assert [e["scenario"] for e in results["entries"]] == ["g", "b"]
+    assert results["entries"][0]["stats"] == {"ipc": 1.5}
+    assert results["entries"][1]["state"] == "failed"
+    assert results["entries"][1]["error"] == "exploded"
+    assert results["complete"]
+    assert store.sweep("s_nope") is None
+    assert store.sweep_results("s_nope") is None
+
+
+def test_decl_persisted_is_hash_stable(store):
+    job = _job(kind="mssr", streams=4, wpb=16)
+    store.submit([("s", job)])
+    row = store.job(job.job_hash(), with_stats=False)
+    rebuilt = SimJob.from_decl(row["decl"])
+    assert rebuilt.job_hash() == job.job_hash()
+    assert json.dumps(row["decl"], sort_keys=True)   # JSON-clean
