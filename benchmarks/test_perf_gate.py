@@ -9,7 +9,7 @@ a shared test run. Run it explicitly::
 Environment knobs (used by the CI smoke step):
 
 * ``REPRO_PERF_THRESHOLD`` — allowed normalised-throughput drop
-  (default 0.15; CI uses a looser 0.25 on shared runners).
+  (default 0.15; CI uses a looser 0.20 on shared runners).
 * ``REPRO_PERF_CURRENT`` — path to an already-measured report to gate
   instead of re-measuring (CI reuses the report it just produced for
   the artifact upload).
@@ -54,7 +54,7 @@ def test_baseline_schema(baseline):
     for result in baseline["points"]:
         assert result["seconds"] > 0
         assert result["kinsts_per_s"] > 0
-        if result["point"]["mode"] == "core":
+        if result["point"]["mode"] in ("core", "batch"):
             assert result["kcycles_per_s"] > 0
 
 

@@ -99,6 +99,15 @@ REGISTRY = _declare(
            "Use the pre-predecode interpretive execute paths "
            "(differential-testing escape hatch).",
            key="harness.slowpath"),
+    EnvVar("REPRO_SUPERBLOCK", "bool", False,
+           "Emulator dispatches one compiled function per superblock "
+           "instead of one closure per instruction (REPRO_SLOWPATH "
+           "wins when both are set).", key="emu.superblock"),
+    EnvVar("REPRO_SHARED_IMAGES", "bool", True,
+           "Batch runner groups same-(workload, scale) jobs into one "
+           "worker so the program image and predecode/superblock "
+           "tables are built once per group (0 = one process per "
+           "job).", key="harness.shared_images"),
     EnvVar("REPRO_LOCKSTEP", "bool", False,
            "Cosimulation tests check every commit against the emulator "
            "instead of only final state.", key="harness.lockstep"),

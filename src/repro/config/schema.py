@@ -26,8 +26,10 @@ from repro.config import envreg
 #: Bumped whenever the schema or the canonical serialisation changes in
 #: a way that alters configuration hashes; folded into job specs and the
 #: harness cache fingerprint so results hashed under an older scheme are
-#: never misattributed to the new one.
-CONFIG_SCHEMA_VERSION = 3
+#: never misattributed to the new one. v4: runtime ``emu`` /
+#: ``harness.shared_images`` keys (superblock dispatch, shared-image
+#: batching).
+CONFIG_SCHEMA_VERSION = 4
 
 #: Model sections, in canonical order.
 MODEL_SECTIONS = ("core", "frontend", "mssr", "ri", "dir", "sampling")

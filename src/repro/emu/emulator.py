@@ -8,7 +8,7 @@ which the analysis tools use for branch statistics.
 
 from repro.isa.instruction import INST_BYTES
 from repro.isa.opcodes import Op, OpClass
-from repro.isa.predecode import slowpath_enabled
+from repro.isa.predecode import slowpath_enabled, superblock_enabled
 from repro.isa.program import STACK_TOP
 from repro.isa.registers import NUM_ARCH_REGS, reg_num
 from repro.emu.memory import SparseMemory
@@ -43,7 +43,8 @@ def _sext32(value):
 class Emulator:
     """Sequential interpreter over a :class:`~repro.isa.program.Program`."""
 
-    def __init__(self, program, init_regs=None, sp=STACK_TOP):
+    def __init__(self, program, init_regs=None, sp=STACK_TOP,
+                 superblock=None):
         self.program = program
         self.memory = SparseMemory(program.initial_memory())
         self.regs = [0] * NUM_ARCH_REGS
@@ -66,6 +67,17 @@ class Emulator:
         # keeps the original interpretive _execute for differential runs.
         self._slow = slowpath_enabled()
         self._pd_by_pc = program.predecode().by_pc
+        # Faster still: superblock dispatch, one call per straight-line
+        # block (REPRO_SUPERBLOCK / emu.superblock, or the explicit
+        # ``superblock=`` override). Slowpath wins when both are set.
+        if superblock is None:
+            superblock = superblock_enabled()
+        self._sb_by_pc = None
+        if superblock and not self._slow:
+            self._sb_by_pc = program.superblocks().by_pc
+        # Instructions fully retired by the current superblock before it
+        # raised (see the guard in repro.isa.superblock.compile_block).
+        self._sb_progress = 0
 
     # ------------------------------------------------------------------
     def step(self):
@@ -170,6 +182,36 @@ class Emulator:
         count = self.inst_count
         try:
             if on_inst is None:
+                if self._sb_by_pc is not None:
+                    # Block-granular dispatch: one call per superblock.
+                    # Per-inst stepping covers the residue — pcs off the
+                    # leader set (e.g. an indirect jump into a block's
+                    # middle) and blocks that would overrun the budget.
+                    sb_get = self._sb_by_pc.get
+                    while not self.halted and count < max_insts:
+                        blk = sb_get(self.pc)
+                        if blk is not None \
+                                and count + blk.length <= max_insts:
+                            try:
+                                self.pc = blk.fn(self, regs)
+                            except BaseException:
+                                # The guard already restored self.pc to
+                                # the raising instruction; commit only
+                                # the instructions that fully retired.
+                                count += self._sb_progress
+                                self._sb_progress = 0
+                                raise
+                            count += blk.length
+                        else:
+                            rec = get(self.pc)
+                            if rec is None:
+                                raise EmulationError(
+                                    "pc %#x leaves the program"
+                                    % self.pc)
+                            self.pc = rec.exec_fn(self, regs)
+                            count += 1
+                    self.inst_count = count
+                    return self.halted
                 while not self.halted and count < max_insts:
                     rec = get(self.pc)
                     if rec is None:

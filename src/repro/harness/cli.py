@@ -154,6 +154,11 @@ def _build_parser():
     perf.add_argument("--profile-out", default=None, metavar="DIR",
                       help="also cProfile each point into "
                            "DIR/<point>.pstats")
+    perf.add_argument("--history", default=None, metavar="JSONL",
+                      help="append-only perf history file (default: "
+                           "BENCH_HISTORY.jsonl beside --out)")
+    perf.add_argument("--no-history", action="store_true",
+                      help="skip the history append")
 
     brchar = sub.add_parser(
         "brchar", help="characterize the branch predictors against the "
@@ -471,10 +476,12 @@ def _cmd_simpoints(args, out):
 
 
 def _cmd_perf(args, out):
+    import os
+
     from repro.perf.bench import (DEFAULT_MATRIX, QUICK_NAMES,
-                                  build_report, calibration_kops,
-                                  compare_reports, load_report,
-                                  profile_point, run_bench,
+                                  append_history, build_report,
+                                  calibration_kops, compare_reports,
+                                  load_report, profile_point, run_bench,
                                   select_points, write_report)
 
     points = select_points(QUICK_NAMES) if args.quick else DEFAULT_MATRIX
@@ -487,8 +494,14 @@ def _cmd_perf(args, out):
     write_report(report, args.out)
     out.write("report : %s (commit %s)\n" % (args.out, report["commit"]))
 
+    if not args.no_history:
+        history = args.history or os.path.join(
+            os.path.dirname(os.path.abspath(args.out)) or ".",
+            "BENCH_HISTORY.jsonl")
+        append_history(report, history)
+        out.write("history: %s\n" % history)
+
     if args.profile_out:
-        import os
         os.makedirs(args.profile_out, exist_ok=True)
         for point in points:
             path = os.path.join(args.profile_out,
@@ -546,6 +559,11 @@ def _cmd_sweep(args, out):
             "sweep": sweep.name,
             "declared": plan.declared,
             "unique": len(plan.jobs),
+            "runner": {"executed": report.executed,
+                       "memo_hits": report.memo_hits,
+                       "disk_hits": report.disk_hits,
+                       "groups": report.groups,
+                       "program_loads": report.program_loads},
             "entries": [{"scenario": entry.scenario,
                          "job": entry.job.spec(),
                          "job_hash": entry.job.job_hash(),

@@ -7,12 +7,17 @@ Resolution order for each job in a batch:
    10 and 12 both need are simulated once);
 2. **disk cache** — results persisted by previous processes
    (:mod:`repro.harness.cache`), keyed by job hash + code fingerprint;
-3. **simulation** — remaining jobs are deduplicated and fanned out over
-   a supervised :class:`ProcessPool` (``REPRO_JOBS`` workers by
-   default). Workers rebuild programs from the job spec and ship stats
-   back as plain dicts; the serial path round-trips through the same
-   dict representation so parallel and serial batches are
-   byte-identical.
+3. **simulation** — remaining jobs are deduplicated, grouped by
+   program image (same ``(workload, scale)`` — the config tree makes
+   such cells trivially identifiable) and fanned out over a supervised
+   :class:`ProcessPool` (``REPRO_JOBS`` workers by default). Each
+   worker process runs its whole group sequentially, so the program
+   image and its predecode/superblock tables are built **once per
+   group** instead of once per job (``REPRO_SHARED_IMAGES=0`` restores
+   one process per job). Workers rebuild programs from the job spec
+   and ship stats back as plain dicts; the serial path round-trips
+   through the same dict representation so parallel and serial batches
+   are byte-identical.
 
 Per-job failures are captured, not propagated mid-batch: every job
 either yields stats or an error entry, and ``strict`` batches raise a
@@ -68,15 +73,19 @@ class BatchReport:
         self.executed = 0        # simulations actually run
         self.memo_hits = 0
         self.disk_hits = 0
+        self.groups = 0          # worker groups the executed jobs used
+        self.program_loads = 0   # real program builds those groups paid
 
     @property
     def total(self):
         return len(self.jobs)
 
     def summary(self):
-        return ("jobs=%d executed=%d memo_hits=%d disk_hits=%d errors=%d"
+        return ("jobs=%d executed=%d memo_hits=%d disk_hits=%d "
+                "errors=%d groups=%d program_loads=%d"
                 % (self.total, self.executed, self.memo_hits,
-                   self.disk_hits, len(self.errors)))
+                   self.disk_hits, len(self.errors), self.groups,
+                   self.program_loads))
 
 
 def default_jobs():
@@ -95,6 +104,47 @@ def default_job_timeout():
     return float(value) if value and value > 0 else None
 
 
+def default_shared_images():
+    """Shared-image grouping toggle from ``REPRO_SHARED_IMAGES``."""
+    from repro.config import envreg
+    return envreg.get("REPRO_SHARED_IMAGES")
+
+
+def group_jobs(jobs, n_slots, shared=True):
+    """Partition ``jobs`` into worker groups sharing a program image.
+
+    Jobs with the same ``(workload, scale)`` build byte-identical
+    programs (scales are rounded exactly like ``Workload.build``), so
+    running them in one process amortises compilation, predecode and
+    superblock construction across the group. Each image's jobs are
+    split into at most ``n_slots // n_images`` contiguous chunks so a
+    single-image batch still fans out across the pool rather than
+    serialising on one worker. ``shared=False`` degrades to one
+    singleton group per job (the pre-grouping behaviour).
+    """
+    jobs = list(jobs)
+    if not shared:
+        return [[job] for job in jobs]
+    images = {}
+    order = []
+    for job in jobs:
+        key = (job.workload, round(float(job.scale), 6))
+        if key not in images:
+            images[key] = []
+            order.append(key)
+        images[key].append(job)
+    n_slots = max(1, int(n_slots))
+    per_image = max(1, n_slots // len(order)) if order else 1
+    groups = []
+    for key in order:
+        image_jobs = images[key]
+        n_chunks = min(len(image_jobs), per_image)
+        size = -(-len(image_jobs) // n_chunks)
+        for start in range(0, len(image_jobs), size):
+            groups.append(image_jobs[start:start + size])
+    return groups
+
+
 def _run_one(job, timeout=None):
     """Execute one job; returns ``(job_hash, ok, payload)`` where the
     payload is a stats dict on success or a traceback string on error.
@@ -110,9 +160,23 @@ def _run_one(job, timeout=None):
         return job.job_hash(), False, traceback.format_exc()
 
 
-def _pool_worker(job, timeout, results):
-    """Entry point of one dedicated worker process."""
-    results.put(_run_one(job, timeout))
+def _group_worker(jobs, timeout, results, group_id):
+    """Entry point of one worker process: run a whole job group.
+
+    The group shares this process's workload build cache, so the
+    program image (and its predecode/superblock tables) is built once
+    however many same-image jobs follow. After the last job a *meta*
+    record — keyed by the ``("meta", group_id)`` tuple, which can never
+    collide with a job-hash string — ships the number of real program
+    builds back to the parent, where it feeds
+    ``BatchReport.program_loads``.
+    """
+    from repro.workloads.registry import build_count
+    before = build_count()
+    for job in jobs:
+        results.put(_run_one(job, timeout))
+    results.put((("meta", group_id), True,
+                 {"program_builds": build_count() - before}))
 
 
 def _pool_context():
@@ -124,32 +188,52 @@ def _pool_context():
 
 
 class _Slot:
-    """One in-flight job: its process and parent-side deadline."""
+    """One in-flight job group: its process and parent-side deadline.
 
-    __slots__ = ("proc", "job", "deadline", "timeout")
+    ``jobs`` maps job hash -> SimJob for every member; ``pending``
+    holds the hashes still unresolved; ``meta_seen`` flips when the
+    worker's trailing build-count record arrives (the slot is released
+    only once both are done, so ``program_loads`` never loses a
+    delta)."""
 
-    def __init__(self, proc, job, deadline, timeout):
+    __slots__ = ("proc", "jobs", "pending", "deadline", "timeout",
+                 "group_id", "meta_seen")
+
+    def __init__(self, proc, jobs, deadline, timeout, group_id):
         self.proc = proc
-        self.job = job
+        self.jobs = jobs
+        self.pending = set(jobs)
         self.deadline = deadline
         self.timeout = timeout
+        self.group_id = group_id
+        self.meta_seen = False
 
 
 class ProcessPool:
-    """Bounded fan-out of jobs over dedicated, supervised processes.
+    """Bounded fan-out of job groups over dedicated, supervised
+    processes.
 
-    Each submitted job runs in its own process (crash isolation: a
-    worker that dies takes exactly one job with it, and its exit code
-    is captured). :meth:`poll` resolves jobs three ways:
+    Each submitted group runs sequentially in its own process (crash
+    isolation: a worker that dies takes exactly one group with it, and
+    its exit code is captured); single-job groups reproduce the old
+    one-process-per-job behaviour exactly. :meth:`poll` resolves jobs
+    three ways:
 
     * a result on the queue — success or a captured traceback;
-    * a dead process without a result — ``worker died mid-job (exit
-      code N)``, instead of the silent hang a ``multiprocessing.Pool``
-      exhibits when a worker is SIGKILLed;
-    * a job past its deadline — the process is terminated and the job
-      resolves to a timeout error. The in-worker ``SIGALRM`` guard
+    * a dead process without results for its unfinished jobs —
+      ``worker died mid-job (exit code N)``, instead of the silent
+      hang a ``multiprocessing.Pool`` exhibits when a worker is
+      SIGKILLed;
+    * a group past its deadline (the *sum* of its members' wall-clock
+      budgets) — the process is terminated and the unfinished jobs
+      resolve to timeout errors. The in-worker ``SIGALRM`` guard
       normally fires first (clean traceback); the parent-side kill is
       the backstop for workers too wedged to handle the signal.
+
+    ``running`` still maps job hash -> slot for every in-flight job,
+    so callers that enumerate leases (the service broker's heartbeat)
+    are oblivious to grouping. ``program_loads`` accumulates the real
+    program-build counts the workers report.
     """
 
     #: Parent-side slack on top of the in-worker SIGALRM guard.
@@ -161,69 +245,113 @@ class ProcessPool:
         self.ctx = ctx or _pool_context()
         self.results = self.ctx.Queue()
         self.running = {}             # job_hash -> _Slot
+        self._slots = {}              # group_id -> _Slot
+        self._next_group = 0
+        self.program_loads = 0
 
     def free_slots(self):
-        return self.n_jobs - len(self.running)
+        return self.n_jobs - len(self._slots)
+
+    def active(self):
+        """True while any group is still in flight."""
+        return bool(self._slots)
 
     def submit(self, job):
         """Start one job on a dedicated process (caller checks slots)."""
-        timeout = job.wall_seconds or self.job_timeout
+        self.submit_group([job])
+
+    def submit_group(self, jobs):
+        """Start a job group on one dedicated process."""
+        jobs = list(jobs)
+        group_id = self._next_group
+        self._next_group += 1
+        budget = 0.0
+        unbounded = False
+        for job in jobs:
+            timeout = job.wall_seconds or self.job_timeout
+            if timeout:
+                budget += timeout
+            else:
+                unbounded = True
         proc = self.ctx.Process(
-            target=_pool_worker,
-            args=(job, None if job.wall_seconds else self.job_timeout,
-                  self.results),
+            target=_group_worker,
+            args=(jobs, self.job_timeout, self.results, group_id),
             daemon=True)
         proc.start()
-        deadline = (time.monotonic() + timeout + self.GRACE) \
-            if timeout else None
-        self.running[job.job_hash()] = _Slot(proc, job, deadline,
-                                             timeout)
+        deadline = None if unbounded \
+            else time.monotonic() + budget + self.GRACE
+        slot = _Slot(proc, {job.job_hash(): job for job in jobs},
+                     deadline, budget if not unbounded else None,
+                     group_id)
+        self._slots[group_id] = slot
+        for job_hash in slot.jobs:
+            self.running[job_hash] = slot
+
+    def _release(self, slot):
+        """Join and forget a group once its jobs *and* meta arrived."""
+        if not slot.pending and slot.meta_seen \
+                and slot.group_id in self._slots:
+            del self._slots[slot.group_id]
+            slot.proc.join()
+
+    def _drop(self, slot, out, reason):
+        """Resolve a dead/expired group's unfinished jobs to errors."""
+        self._slots.pop(slot.group_id, None)
+        for job_hash in sorted(slot.pending):
+            self.running.pop(job_hash, None)
+            job = slot.jobs[job_hash]
+            out.append((job, False, reason % job.label()))
+        slot.pending.clear()
 
     def _drain(self, out):
         while True:
             try:
-                job_hash, ok, payload = self.results.get_nowait()
+                key, ok, payload = self.results.get_nowait()
             except queue_mod.Empty:
                 return
-            slot = self.running.pop(job_hash, None)
+            if isinstance(key, tuple):        # ("meta", group_id)
+                slot = self._slots.get(key[1])
+                self.program_loads += payload.get("program_builds", 0)
+                if slot is not None:
+                    slot.meta_seen = True
+                    self._release(slot)
+                continue
+            slot = self.running.pop(key, None)
             if slot is None:          # already resolved (late result)
                 continue
-            slot.proc.join()
-            out.append((slot.job, ok, payload))
+            slot.pending.discard(key)
+            out.append((slot.jobs[key], ok, payload))
+            self._release(slot)
 
     def _reap(self, out):
         now = time.monotonic()
-        for job_hash, slot in list(self.running.items()):
+        for group_id, slot in list(self._slots.items()):
             if not slot.proc.is_alive():
-                # The process may have posted its result between our
-                # last drain and its exit; give the queue a moment to
+                # The process may have posted results between our last
+                # drain and its exit; give the queue a moment to
                 # deliver before declaring the worker dead.
                 end = time.monotonic() + 0.25
-                resolved = False
                 while time.monotonic() < end:
                     self._drain(out)
-                    if job_hash not in self.running:
-                        resolved = True
+                    if group_id not in self._slots:
                         break
                     time.sleep(0.01)
-                if resolved:
+                if group_id not in self._slots:
                     continue
-                slot = self.running.pop(job_hash)
-                slot.proc.join()
-                out.append((slot.job, False,
-                            "worker died mid-job (exit code %s): %s"
-                            % (slot.proc.exitcode, slot.job.label())))
+                proc = slot.proc
+                proc.join()
+                self._drop(slot, out,
+                           "worker died mid-job (exit code %s): %%s"
+                           % proc.exitcode)
             elif slot.deadline is not None and now > slot.deadline:
-                self.running.pop(job_hash)
                 slot.proc.terminate()
                 slot.proc.join(1.0)
                 if slot.proc.is_alive():
                     slot.proc.kill()
                     slot.proc.join()
-                out.append((slot.job, False,
-                            "job exceeded wall-clock timeout (%.1fs); "
-                            "worker terminated: %s"
-                            % (slot.timeout, slot.job.label())))
+                self._drop(slot, out,
+                           "job exceeded wall-clock timeout (%.1fs); "
+                           "worker terminated: %%s" % slot.timeout)
 
     def poll(self, block=0.0):
         """Collect finished jobs; returns ``[(job, ok, payload)]``.
@@ -241,19 +369,20 @@ class ProcessPool:
 
     def close(self):
         """Terminate anything still running and release the queue."""
-        for slot in self.running.values():
+        for slot in self._slots.values():
             slot.proc.terminate()
-        for slot in self.running.values():
+        for slot in self._slots.values():
             slot.proc.join(1.0)
             if slot.proc.is_alive():
                 slot.proc.kill()
                 slot.proc.join()
+        self._slots.clear()
         self.running.clear()
         self.results.close()
 
 
 def run_batch(jobs, n_jobs=None, cache=None, progress=None, strict=True,
-              memo=_MEMO):
+              memo=_MEMO, shared_images=None):
     """Resolve a batch of :class:`SimJob`; returns a :class:`BatchReport`.
 
     ``n_jobs``: worker processes (defaults to ``REPRO_JOBS``, serial if
@@ -262,7 +391,8 @@ def run_batch(jobs, n_jobs=None, cache=None, progress=None, strict=True,
     ``progress``: optional callable ``(done, total, job, source)`` with
     source one of ``memo``/``disk``/``run``/``error``. ``strict``:
     raise :class:`JobFailure` if any job failed (otherwise failed jobs
-    resolve to ``None`` stats).
+    resolve to ``None`` stats). ``shared_images``: group same-program
+    jobs into shared workers (defaults to ``REPRO_SHARED_IMAGES``).
     """
     global _LAST_REPORT
     jobs = list(jobs)
@@ -326,30 +456,39 @@ def run_batch(jobs, n_jobs=None, cache=None, progress=None, strict=True,
             _note(job, "error")
 
     if pending:
+        if shared_images is None:
+            shared_images = default_shared_images()
+        groups = group_jobs(pending, n_jobs, shared=shared_images)
+        report.groups = len(groups)
         _log.info("batch: %d job(s), %d cached (%d memo, %d disk), "
-                  "simulating %d on %d worker(s)",
+                  "simulating %d in %d group(s) on %d worker(s)",
                   len(unique), report.memo_hits + report.disk_hits,
                   report.memo_hits, report.disk_hits, len(pending),
-                  min(n_jobs, len(pending)))
+                  len(groups), min(n_jobs, len(groups)))
         timeout = default_job_timeout()
         if n_jobs > 1 and len(pending) > 1:
-            pool = ProcessPool(min(n_jobs, len(pending)),
+            pool = ProcessPool(min(n_jobs, len(groups)),
                                job_timeout=timeout)
             try:
-                backlog = iter(pending)
-                next_job = next(backlog, None)
-                while next_job is not None or pool.running:
-                    while next_job is not None and pool.free_slots():
-                        pool.submit(next_job)
-                        next_job = next(backlog, None)
+                backlog = iter(groups)
+                next_group = next(backlog, None)
+                while next_group is not None or pool.active():
+                    while next_group is not None and pool.free_slots():
+                        pool.submit_group(next_group)
+                        next_group = next(backlog, None)
                     for job, ok, payload in pool.poll(block=0.1):
                         _absorb(job, job.job_hash(), ok, payload)
             finally:
                 pool.close()
+            report.program_loads = pool.program_loads
         else:
-            for job in pending:
-                job_hash, ok, payload = _run_one(job, timeout)
-                _absorb(job, job_hash, ok, payload)
+            from repro.workloads.registry import build_count
+            before = build_count()
+            for group in groups:
+                for job in group:
+                    job_hash, ok, payload = _run_one(job, timeout)
+                    _absorb(job, job_hash, ok, payload)
+            report.program_loads = build_count() - before
 
     for job in jobs:
         job_hash = job.job_hash()

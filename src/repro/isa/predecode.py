@@ -30,8 +30,9 @@ from repro.utils.bits import sext32, to_unsigned, wrap64
 
 #: Bumped whenever predecoded semantics change in a way that could alter
 #: results; folded into the harness cache fingerprint so cached results
-#: from pre-optimisation code are never silently reused.
-PREDECODE_VERSION = 1
+#: from pre-optimisation code are never silently reused. v2: superblock
+#: compilation (repro.isa.superblock) joins the execution fast path.
+PREDECODE_VERSION = 2
 
 #: Functional-unit kind as a small int (dispatch without enum identity
 #: checks). Order matters: ``kind <= KIND_DIV`` selects the ALU-computed
@@ -67,6 +68,15 @@ def slowpath_enabled():
     emulator/core construction time, so tests can toggle per instance."""
     from repro.config import envreg
     return envreg.get("REPRO_SLOWPATH")
+
+
+def superblock_enabled():
+    """True when ``REPRO_SUPERBLOCK=1`` (config key ``emu.superblock``)
+    selects block-granular dispatch (:mod:`repro.isa.superblock`) for
+    the emulator fast path. Read at construction time, like
+    :func:`slowpath_enabled`; slowpath wins when both are set."""
+    from repro.config import envreg
+    return envreg.get("REPRO_SUPERBLOCK")
 
 
 class PDInst:

@@ -78,6 +78,7 @@ class Program:
         self.entry = entry if entry is not None else code_base
         self._check_pcs()
         self._predecoded = None
+        self._superblocks = None
 
     def _check_pcs(self):
         pc = self.code_base
@@ -114,6 +115,16 @@ class Program:
             from repro.isa.predecode import predecode_program
             pd = self._predecoded = predecode_program(self)
         return pd
+
+    def superblocks(self):
+        """The program's compiled :class:`~repro.isa.superblock.
+        SuperblockTable` (block-granular dispatch for the emulator fast
+        path; built once and cached like :meth:`predecode`)."""
+        table = self._superblocks
+        if table is None:
+            from repro.isa.superblock import build_superblocks
+            table = self._superblocks = build_superblocks(self)
+        return table
 
     def label_pc(self, name):
         return self.labels[name]

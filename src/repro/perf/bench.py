@@ -5,9 +5,16 @@ the simulated machine — on a pinned matrix of (engine, workload,
 configuration) points:
 
 * ``emu`` points run the functional :class:`~repro.emu.emulator.Emulator`
-  to completion and report kilo-instructions per wall second.
+  to completion and report kilo-instructions per wall second. The
+  ``superblock`` variant dispatches one compiled function per
+  straight-line region (:mod:`repro.isa.superblock`) instead of one
+  closure per instruction.
 * ``core`` points run the detailed :class:`~repro.pipeline.core.O3Core`
   and report kilo-cycles per wall second.
+* ``batch`` points run a small same-image job batch (baseline + two
+  MSSR cells) through the shared-image serial path with cold workload
+  caches, so the one-build-many-runs amortisation is part of the
+  measured time. Metric: total kilo-cycles per wall second.
 
 Reports are JSON (``BENCH_PIPELINE.json`` at the repo root is the
 checked-in baseline). Raw wall-clock throughput is not comparable across
@@ -39,33 +46,44 @@ _CALIBRATION_ITERS = 2_000_000
 class BenchPoint:
     """One pinned benchmark point.
 
-    ``mode`` is ``"emu"`` (functional emulator, metric kinsts/s) or
-    ``"core"`` (detailed pipeline, metric kcycles/s). ``kind`` is a
+    ``mode`` is ``"emu"`` (functional emulator, metric kinsts/s),
+    ``"core"`` (detailed pipeline, metric kcycles/s) or ``"batch"``
+    (shared-image job batch, metric total kcycles/s). ``kind`` is a
     harness configuration kind (``baseline``/``mssr``/...), only
-    meaningful for core points.
+    meaningful for core points. ``variant`` selects an alternate
+    dispatch strategy of the same engine — currently ``"superblock"``
+    for emulator points — and is omitted from the spec when unset so
+    reports from before the field existed round-trip unchanged.
     """
 
-    __slots__ = ("name", "mode", "workload", "kind", "scale")
+    __slots__ = ("name", "mode", "workload", "kind", "scale", "variant")
 
-    def __init__(self, name, mode, workload, kind="baseline", scale=0.2):
-        if mode not in ("emu", "core"):
-            raise ValueError("mode must be 'emu' or 'core', got %r" % mode)
+    def __init__(self, name, mode, workload, kind="baseline", scale=0.2,
+                 variant=None):
+        if mode not in ("emu", "core", "batch"):
+            raise ValueError("mode must be 'emu', 'core' or 'batch', "
+                             "got %r" % mode)
         self.name = name
         self.mode = mode
         self.workload = workload
         self.kind = kind
         self.scale = scale
+        self.variant = variant
 
     def spec(self):
-        return {"name": self.name, "mode": self.mode,
-                "workload": self.workload, "kind": self.kind,
-                "scale": self.scale}
+        out = {"name": self.name, "mode": self.mode,
+               "workload": self.workload, "kind": self.kind,
+               "scale": self.scale}
+        if self.variant is not None:
+            out["variant"] = self.variant
+        return out
 
     @classmethod
     def from_spec(cls, spec):
         return cls(spec["name"], spec["mode"], spec["workload"],
                    kind=spec.get("kind", "baseline"),
-                   scale=spec.get("scale", 0.2))
+                   scale=spec.get("scale", 0.2),
+                   variant=spec.get("variant"))
 
     def __repr__(self):
         return "<BenchPoint %s>" % self.name
@@ -78,18 +96,25 @@ class BenchPoint:
 DEFAULT_MATRIX = (
     BenchPoint("emu-nested-mispred", "emu", "nested-mispred", scale=0.4),
     BenchPoint("emu-linear-mispred", "emu", "linear-mispred", scale=0.4),
+    BenchPoint("emu-sb-nested-mispred", "emu", "nested-mispred",
+               scale=0.4, variant="superblock"),
+    BenchPoint("emu-sb-linear-mispred", "emu", "linear-mispred",
+               scale=0.4, variant="superblock"),
     BenchPoint("core-baseline-nested-mispred", "core", "nested-mispred",
                kind="baseline", scale=0.2),
     BenchPoint("core-mssr-nested-mispred", "core", "nested-mispred",
                kind="mssr", scale=0.2),
     BenchPoint("core-baseline-linear-mispred", "core", "linear-mispred",
                kind="baseline", scale=0.2),
+    BenchPoint("core-batched-nested-mispred", "batch", "nested-mispred",
+               scale=0.1),
 )
 
 #: Subset used by the CI smoke run. These are the *same* point
 #: definitions (same scales) as the full matrix — normalised comparisons
 #: against a full-matrix baseline stay unbiased — just fewer of them.
-QUICK_NAMES = ("emu-nested-mispred", "core-baseline-nested-mispred")
+QUICK_NAMES = ("emu-nested-mispred", "emu-sb-nested-mispred",
+               "core-baseline-nested-mispred")
 
 
 def select_points(names, matrix=DEFAULT_MATRIX):
@@ -127,18 +152,46 @@ def calibration_kops(repeats=3):
     return _CALIBRATION_ITERS / best / 1e3
 
 
+def _batch_jobs(point):
+    """The pinned same-image job batch of a ``batch`` point: one
+    baseline cell plus two MSSR cells over one program image."""
+    from repro.harness.jobs import SimJob
+    return [SimJob(point.workload, "baseline", point.scale),
+            SimJob(point.workload, "mssr", point.scale, {"streams": 2}),
+            SimJob(point.workload, "mssr", point.scale, {"streams": 4})]
+
+
 def run_point(point, repeats=3):
     """Measure one point; returns its result dict (see module docs)."""
     from repro.workloads import get_workload
 
-    _mod, prog = get_workload(point.workload).build(point.scale)
-    prog.predecode()  # exclude one-time predecode from the timing
     best = float("inf")
     cycles = insts = 0
-    if point.mode == "emu":
-        from repro.emu.emulator import Emulator
+    if point.mode == "batch":
+        # Shared-image batch: the workload build happens *inside* the
+        # timed region (caches cleared per repeat) but only once for
+        # all jobs in the batch — that amortisation is the point.
+        from repro.harness.jobs import execute
+        jobs = _batch_jobs(point)
         for _ in range(repeats):
-            emu = Emulator(prog)
+            get_workload(point.workload).clear_cache()
+            start = time.perf_counter()
+            total_cycles = total_insts = 0
+            for job in jobs:
+                stats = execute(job)
+                total_cycles += stats.cycles
+                total_insts += stats.committed_insts
+            best = min(best, time.perf_counter() - start)
+            cycles, insts = total_cycles, total_insts
+    elif point.mode == "emu":
+        from repro.emu.emulator import Emulator
+        _mod, prog = get_workload(point.workload).build(point.scale)
+        prog.predecode()  # exclude one-time predecode from the timing
+        superblock = point.variant == "superblock"
+        if superblock:
+            prog.superblocks()  # exclude one-time codegen too
+        for _ in range(repeats):
+            emu = Emulator(prog, superblock=superblock)
             start = time.perf_counter()
             result = emu.run()
             best = min(best, time.perf_counter() - start)
@@ -146,6 +199,8 @@ def run_point(point, repeats=3):
     else:
         from repro.harness.jobs import build_config, build_scheme
         from repro.pipeline.core import O3Core
+        _mod, prog = get_workload(point.workload).build(point.scale)
+        prog.predecode()
         for _ in range(repeats):
             core = O3Core(prog, build_config(point.kind),
                           reuse_scheme=build_scheme(point.kind))
@@ -161,7 +216,7 @@ def run_point(point, repeats=3):
         "insts": insts,
         "kinsts_per_s": insts / best / 1e3,
     }
-    if point.mode == "core":
+    if point.mode in ("core", "batch"):
         out["kcycles_per_s"] = cycles / best / 1e3
     return out
 
@@ -174,7 +229,8 @@ def run_bench(points=DEFAULT_MATRIX, repeats=3, log=None):
         if log is not None:
             metric = result.get("kcycles_per_s",
                                 result["kinsts_per_s"])
-            unit = "kcycles/s" if point.mode == "core" else "kinsts/s"
+            unit = ("kcycles/s" if point.mode in ("core", "batch")
+                    else "kinsts/s")
             log("%-32s %10.1f %s" % (point.name, metric, unit))
         results.append(result)
     return results
@@ -187,13 +243,27 @@ def profile_point(point, out_path, repeats=1):
 
     from repro.workloads import get_workload
 
+    profiler = cProfile.Profile()
+    if point.mode == "batch":
+        from repro.harness.jobs import execute
+        jobs = _batch_jobs(point)
+        for _ in range(repeats):
+            get_workload(point.workload).clear_cache()
+            profiler.enable()
+            for job in jobs:
+                execute(job)
+            profiler.disable()
+        profiler.dump_stats(out_path)
+        return
     _mod, prog = get_workload(point.workload).build(point.scale)
     prog.predecode()
-    profiler = cProfile.Profile()
     if point.mode == "emu":
         from repro.emu.emulator import Emulator
+        superblock = point.variant == "superblock"
+        if superblock:
+            prog.superblocks()
         for _ in range(repeats):
-            emu = Emulator(prog)
+            emu = Emulator(prog, superblock=superblock)
             profiler.enable()
             emu.run()
             profiler.disable()
@@ -241,6 +311,28 @@ def write_report(report, path):
         handle.write("\n")
 
 
+def append_history(report, path):
+    """Append one line for ``report`` to the JSONL perf history.
+
+    The history file is append-only: every measured run adds one
+    compact record — wall time, commit, calibration and the gated
+    metric of every point — so throughput trends survive the
+    re-pinning of ``BENCH_PIPELINE.json`` (which only ever holds the
+    latest baseline). Returns the record written.
+    """
+    record = {
+        "time": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "commit": report["commit"],
+        "python": report["python"],
+        "calibration_kops": report["calibration_kops"],
+        "points": {r["point"]["name"]: round(point_metric(r), 3)
+                   for r in report["points"]},
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
 def load_report(path):
     with open(path, "r", encoding="utf-8") as handle:
         report = json.load(handle)
@@ -252,9 +344,9 @@ def load_report(path):
 
 
 def point_metric(result):
-    """The gated metric of one result: kcycles/s for core points,
-    kinsts/s for emulator points."""
-    if result["point"]["mode"] == "core":
+    """The gated metric of one result: kcycles/s for core and batch
+    points, kinsts/s for emulator points."""
+    if result["point"]["mode"] in ("core", "batch"):
         return result["kcycles_per_s"]
     return result["kinsts_per_s"]
 

@@ -6,10 +6,15 @@ a plain asyncio task that, every tick:
 1. **reaps** stale leases in the store (crash detection for *other*
    hosts — or a previous life of this one — that stopped
    heartbeating);
-2. **claims** queued jobs while local pool slots are free. A claim is
-   re-probed against the shared result cache first, so a result
-   published by another host since submission is served without
-   burning a worker;
+2. **claims** queued jobs while local pool slots are free — up to one
+   batch per free slot count in a *single* store transaction
+   (:meth:`~repro.service.store.JobStore.claim_many`), so many workers
+   cost one sqlite round-trip per tick instead of one per job. Each
+   claim is re-probed against the shared result cache first, so a
+   result published by another host since submission is served without
+   burning a worker; the remainder is grouped by program image
+   (:func:`~repro.harness.runner.group_jobs`) so same-workload cells
+   share one worker's build caches;
 3. **collects** finished workers from the
    :class:`~repro.harness.runner.ProcessPool` — success persists stats
    through the shared cache, failure consumes retry budget (requeue,
@@ -28,7 +33,8 @@ import asyncio
 import time
 
 from repro.config import envreg
-from repro.harness.runner import ProcessPool, default_job_timeout
+from repro.harness.runner import (ProcessPool, default_job_timeout,
+                                  default_shared_images, group_jobs)
 from repro.log import get_logger
 from repro.service.store import worker_id
 
@@ -107,19 +113,27 @@ class Broker:
             _log.warning("lease lost: %s -> %s", job_hash, state)
             self._publish(job_hash, state, "heartbeat stale")
 
-        while pool.free_slots():
-            claimed = store.claim(self.worker)
-            if claimed is None:
+        while True:
+            free = pool.free_slots()
+            if not free:
                 break
-            job_hash, job = claimed
-            cached = store.cache.get(job)
-            if cached is not None:
-                store.complete(job_hash, self.worker, cached,
-                               source="cache")
-                self._publish(job_hash, "done", "cache")
-                continue
-            pool.submit(job)
-            self._publish(job_hash, "running")
+            claimed = store.claim_many(self.worker, limit=free)
+            if not claimed:
+                break
+            to_run = []
+            for job_hash, job in claimed:
+                cached = store.cache.get(job)
+                if cached is not None:
+                    store.complete(job_hash, self.worker, cached,
+                                   source="cache")
+                    self._publish(job_hash, "done", "cache")
+                else:
+                    to_run.append(job)
+            for group in group_jobs(to_run, free,
+                                    shared=default_shared_images()):
+                pool.submit_group(group)
+                for job in group:
+                    self._publish(job.job_hash(), "running")
 
         for job, ok, payload in pool.poll(0):
             job_hash = job.job_hash()

@@ -1,5 +1,16 @@
 """Workload registry: lazy construction and caching of compiled programs."""
 
+#: Process-lifetime count of *real* program builds (cache misses). The
+#: batch runner's shared-image grouping is judged by this number: a
+#: grouped worker builds each (workload, scale) image once however many
+#: jobs it runs, and ships its delta back to the parent.
+_BUILD_COUNT = 0
+
+
+def build_count():
+    """Number of program images actually compiled by this process."""
+    return _BUILD_COUNT
+
 
 class Workload:
     """A named, parameterised benchmark.
@@ -35,9 +46,16 @@ class Workload:
                 % (scale, self.name))
         key = round(scale, 6)
         if key not in self._cache:
+            global _BUILD_COUNT
+            _BUILD_COUNT += 1
             module, program = self.builder(key)
             self._cache[key] = (module, program)
         return self._cache[key]
+
+    def clear_cache(self):
+        """Drop cached builds (tests / benchmarks that must measure a
+        cold build)."""
+        self._cache.clear()
 
     def __repr__(self):
         return "<Workload %s/%s>" % (self.suite, self.name)

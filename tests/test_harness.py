@@ -178,6 +178,89 @@ def test_progress_callback(tmp_cache):
 
 
 # ---------------------------------------------------------------------------
+# Shared-image grouping
+# ---------------------------------------------------------------------------
+def _mssr_grid(workload, streams):
+    return [SimJob(workload, "mssr", _SCALE,
+                   {"streams": s, "wpb": 16, "log": 64})
+            for s in streams]
+
+
+def _clear_workload_caches(*names):
+    """Forked workers inherit the parent's build cache; drop it so a
+    fresh pool pays (and therefore counts) its builds."""
+    from repro.workloads.registry import get_workload
+    for name in names:
+        get_workload(name).clear_cache()
+
+
+def test_group_jobs_shapes():
+    from repro.harness.runner import group_jobs
+
+    one_image = _mssr_grid("linear-mispred", (1, 2, 4))
+    # Singletons when sharing is off.
+    assert group_jobs(one_image, 4, shared=False) \
+        == [[job] for job in one_image]
+    # One image over many slots fans out into per-slot chunks...
+    groups = group_jobs(one_image, 4)
+    assert [len(g) for g in groups] == [1, 1, 1]
+    # ...and serialises into one group when slots are scarce.
+    assert [len(g) for g in group_jobs(one_image, 1)] == [3]
+    # Two images split the slots between them.
+    two_images = one_image + _mssr_grid("nested-mispred", (1, 2, 4))
+    groups = group_jobs(two_images, 2)
+    assert len(groups) == 2
+    assert all(len(g) == 3 for g in groups)
+    for group in groups:
+        assert len({(j.workload, j.scale) for j in group}) == 1
+    # Every job appears exactly once.
+    flat = [j for g in groups for j in g]
+    assert sorted(j.job_hash() for j in flat) \
+        == sorted(j.job_hash() for j in two_images)
+
+
+def test_shared_images_batched_equivalence_and_fewer_loads():
+    """Acceptance: batched and unbatched parallel runs produce
+    byte-identical stats for the same job hashes, and batching pays
+    strictly fewer program builds."""
+    jobs = _mssr_grid("linear-mispred", (1, 2, 3, 4))
+
+    _clear_workload_caches("linear-mispred")
+    batched = run_batch(jobs, n_jobs=2, cache=False, memo=None,
+                        shared_images=True)
+    _clear_workload_caches("linear-mispred")
+    unbatched = run_batch(jobs, n_jobs=2, cache=False, memo=None,
+                          shared_images=False)
+
+    assert batched.executed == unbatched.executed == len(jobs)
+    for job in jobs:
+        assert _stats_blob(batched.results[job]) == \
+            _stats_blob(unbatched.results[job])
+    # 4 jobs / 2 slots: 2 shared groups pay 2 builds; 4 singleton
+    # workers pay 4.
+    assert batched.groups == 2 and unbatched.groups == 4
+    assert batched.program_loads == 2
+    assert unbatched.program_loads == 4
+
+
+def test_serial_path_counts_program_loads():
+    jobs = _mssr_grid("linear-mispred", (1, 2))
+    _clear_workload_caches("linear-mispred")
+    report = run_batch(jobs, n_jobs=1, cache=False, memo=None)
+    assert report.groups == 1
+    assert report.program_loads == 1    # one image, built once
+
+
+def test_shared_images_env_default(monkeypatch):
+    from repro.harness.runner import default_shared_images
+
+    monkeypatch.delenv("REPRO_SHARED_IMAGES", raising=False)
+    assert default_shared_images() is True
+    monkeypatch.setenv("REPRO_SHARED_IMAGES", "0")
+    assert default_shared_images() is False
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 def test_cli_run_summary(tmp_cache):

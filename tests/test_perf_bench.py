@@ -8,21 +8,42 @@ normalised comparison — plus one tiny real measurement as a smoke test.
 import pytest
 
 from repro.perf.bench import (BenchPoint, DEFAULT_MATRIX, QUICK_NAMES,
-                              REPORT_VERSION, build_report,
-                              compare_reports, load_report,
-                              matrix_from_report, point_metric, run_bench,
-                              select_points, write_report)
+                              REPORT_VERSION, append_history,
+                              build_report, compare_reports, load_report,
+                              matrix_from_report, point_metric,
+                              run_bench, run_point, select_points,
+                              write_report)
 
 
 def test_bench_point_spec_round_trip():
     for point in DEFAULT_MATRIX:
         clone = BenchPoint.from_spec(point.spec())
         assert clone.spec() == point.spec()
+        assert clone.variant == point.variant
 
 
 def test_bench_point_rejects_unknown_mode():
     with pytest.raises(ValueError):
         BenchPoint("bad", "gpu", "nested-mispred")
+
+
+def test_bench_point_variant_omitted_when_unset():
+    plain = BenchPoint("p", "emu", "nested-mispred")
+    assert "variant" not in plain.spec()
+    sb = BenchPoint("p-sb", "emu", "nested-mispred",
+                    variant="superblock")
+    assert sb.spec()["variant"] == "superblock"
+    # Specs written before the field existed still load.
+    legacy = dict(plain.spec())
+    assert BenchPoint.from_spec(legacy).variant is None
+
+
+def test_default_matrix_covers_new_modes():
+    by_name = {p.name: p for p in DEFAULT_MATRIX}
+    assert by_name["emu-sb-nested-mispred"].variant == "superblock"
+    assert by_name["emu-sb-linear-mispred"].variant == "superblock"
+    assert by_name["core-batched-nested-mispred"].mode == "batch"
+    assert "emu-sb-nested-mispred" in QUICK_NAMES
 
 
 def test_select_points_preserves_order_and_raises_on_unknown():
@@ -38,7 +59,7 @@ def _fake_report(calibration=1000.0, scale=1.0):
         result = {"point": point.spec(), "seconds": 1.0,
                   "cycles": 5000, "insts": 4000,
                   "kinsts_per_s": 40.0 * scale}
-        if point.mode == "core":
+        if point.mode in ("core", "batch"):
             result["kcycles_per_s"] = 50.0 * scale
         points.append(result)
     return {"version": REPORT_VERSION, "commit": "deadbeef",
@@ -49,7 +70,7 @@ def _fake_report(calibration=1000.0, scale=1.0):
 def test_point_metric_selects_cycles_for_core():
     report = _fake_report()
     for result in report["points"]:
-        if result["point"]["mode"] == "core":
+        if result["point"]["mode"] in ("core", "batch"):
             assert point_metric(result) == result["kcycles_per_s"]
         else:
             assert point_metric(result) == result["kinsts_per_s"]
@@ -98,6 +119,47 @@ def test_load_report_rejects_malformed(tmp_path):
     path.write_text('{"version": 1}')
     with pytest.raises(ValueError, match="missing"):
         load_report(str(path))
+
+
+def test_append_history_is_append_only(tmp_path):
+    import json
+
+    path = tmp_path / "BENCH_HISTORY.jsonl"
+    first = append_history(_fake_report(), str(path))
+    append_history(_fake_report(scale=2.0), str(path))
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    records = [json.loads(line) for line in lines]
+    assert records[0] == json.loads(json.dumps(first))
+    for record in records:
+        assert record["commit"] == "deadbeef"
+        assert record["calibration_kops"] == 1000.0
+        assert set(record["points"]) == {p.name for p in DEFAULT_MATRIX}
+    # The second run's metrics doubled; history keeps both.
+    assert records[1]["points"]["emu-nested-mispred"] == \
+        2 * records[0]["points"]["emu-nested-mispred"]
+
+
+def test_run_point_superblock_variant_matches_closure_insts():
+    plain = BenchPoint("p", "emu", "nested-mispred", scale=0.02)
+    sb = BenchPoint("p-sb", "emu", "nested-mispred", scale=0.02,
+                    variant="superblock")
+    r_plain = run_point(plain, repeats=1)
+    r_sb = run_point(sb, repeats=1)
+    # Same program, same retired instruction count — only dispatch
+    # differs.
+    assert r_sb["insts"] == r_plain["insts"] > 0
+    assert r_sb["point"]["variant"] == "superblock"
+    assert "kcycles_per_s" not in r_sb
+
+
+def test_run_point_batch_mode_smoke():
+    point = BenchPoint("b", "batch", "nested-mispred", scale=0.02)
+    result = run_point(point, repeats=1)
+    assert result["cycles"] > 0
+    assert result["insts"] > 0
+    assert result["kcycles_per_s"] > 0
+    assert point_metric(result) == result["kcycles_per_s"]
 
 
 def test_run_bench_smoke_tiny_point():

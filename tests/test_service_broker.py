@@ -215,3 +215,56 @@ def test_run_batch_surfaces_killed_worker_error(tmp_path, monkeypatch):
     assert len(report.errors) == 2
     for message in report.errors.values():
         assert "worker died mid-job (exit code 11)" in message
+
+
+# ---------------------------------------------------------------------------
+# Batched claims + grouped execution through the broker
+# ---------------------------------------------------------------------------
+def test_broker_batch_claims_and_groups_same_image_jobs(broker, store):
+    """Same-image jobs are claimed in one store transaction per tick
+    and leased onto shared-image worker groups, with byte-identical
+    results."""
+    jobs = [_job(kind="mssr", params={"streams": s}) for s in (1, 2)] \
+        + [_job()]
+    store.submit([("s", job) for job in jobs])
+    states = _drive(broker, store)
+    assert states == {"done": 3}
+
+    counters = store.counters()
+    assert counters["executions"] == 3
+    assert counters["claims"] == 3
+    # Fewer transactions than jobs: the first tick leases a batch of
+    # two in one claim_many round-trip.
+    assert counters["claim_txns"] < counters["claims"]
+
+    for job in jobs:
+        direct = execute(job).as_dict()
+        assert json.dumps(store.job(job.job_hash())["stats"],
+                          sort_keys=True) \
+            == json.dumps(direct, sort_keys=True)
+
+
+def test_group_worker_death_fails_whole_group(monkeypatch):
+    """A worker dying mid-group resolves every unfinished member with
+    the captured exit code instead of hanging the pool."""
+    def dies(_job):
+        os._exit(5)
+
+    monkeypatch.setattr("repro.harness.runner.execute", dies)
+    jobs = [_job(kind="mssr", params={"streams": s}) for s in (1, 2, 4)]
+    pool = ProcessPool(1)
+    try:
+        pool.submit_group(jobs)
+        assert pool.free_slots() == 0
+        assert sorted(pool.running) == sorted(j.job_hash()
+                                              for j in jobs)
+        done = []
+        end = time.monotonic() + 30.0
+        while len(done) < 3 and time.monotonic() < end:
+            done.extend(pool.poll(block=1.0))
+    finally:
+        pool.close()
+    assert len(done) == 3
+    for _job_obj, ok, payload in done:
+        assert not ok
+        assert "worker died mid-job (exit code 5)" in payload

@@ -190,3 +190,60 @@ def test_decl_persisted_is_hash_stable(store):
     rebuilt = SimJob.from_decl(row["decl"])
     assert rebuilt.job_hash() == job.job_hash()
     assert json.dumps(row["decl"], sort_keys=True)   # JSON-clean
+
+
+# ---------------------------------------------------------------------------
+# Batched claims
+# ---------------------------------------------------------------------------
+def test_claim_many_leases_batch_in_one_transaction(store):
+    jobs = [("s", _job(kind="mssr", streams=s)) for s in (1, 2, 4)]
+    store.submit(jobs)
+    claimed = store.claim_many("w1", limit=2, now=100.0)
+    assert len(claimed) == 2
+    # Oldest-first, matching repeated single claims.
+    assert [h for h, _job_ in claimed] == [row[1][1].job_hash()
+                                          for row in zip(range(2), jobs)]
+    for job_hash, job in claimed:
+        assert store.job(job_hash)["state"] == "running"
+        assert store.job(job_hash)["attempts"] == 1
+    counters = store.counters()
+    assert counters["claims"] == 2
+    assert counters["claim_txns"] == 1   # one transaction for both
+
+    # Remainder + empty queue.
+    assert len(store.claim_many("w1", limit=5)) == 1
+    assert store.claim_many("w1", limit=5) == []
+    counters = store.counters()
+    assert counters["claims"] == 3
+    assert counters["claim_txns"] == 2   # empty probe bumps nothing
+
+
+def test_claim_delegates_to_claim_many(store):
+    store.submit([("s", _job())])
+    claimed = store.claim("w1", now=50.0)
+    assert claimed is not None
+    job_hash, job = claimed
+    assert store.job(job_hash)["state"] == "running"
+    assert store.claim("w1") is None
+    counters = store.counters()
+    assert counters["claims"] == 1
+    assert counters["claim_txns"] == 1
+
+
+def test_batched_claims_fewer_transactions_than_jobs(store):
+    """The point of claim_many: N jobs lease in far fewer write
+    transactions than N."""
+    jobs = [("s", _job(kind="mssr", streams=s, wpb=w))
+            for s in (1, 2) for w in (4, 8, 16)]
+    store.submit(jobs)
+    total = 0
+    while True:
+        batch = store.claim_many("w1", limit=4)
+        if not batch:
+            break
+        total += len(batch)
+    assert total == 6
+    counters = store.counters()
+    assert counters["claims"] == 6
+    assert counters["claim_txns"] == 2
+    assert counters["claim_txns"] < counters["claims"]
