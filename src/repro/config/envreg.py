@@ -147,6 +147,10 @@ REGISTRY = _declare(
            "Extra execution attempts the service grants a job after a "
            "failure or lost worker before marking it failed/orphaned.",
            key="service.retries"),
+    EnvVar("REPRO_SERVICE_NO_API", "bool", False,
+           "Run the service worker-only (broker + store, no HTTP "
+           "listener); endpoint.json is written api-less for pure "
+           "compute hosts.", key="service.no_api"),
 )
 
 

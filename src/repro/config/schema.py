@@ -28,11 +28,13 @@ from repro.config import envreg
 #: harness cache fingerprint so results hashed under an older scheme are
 #: never misattributed to the new one. v4: runtime ``emu`` /
 #: ``harness.shared_images`` keys (superblock dispatch, shared-image
-#: batching).
-CONFIG_SCHEMA_VERSION = 4
+#: batching). v5: ``mem.*`` section (port-based memory system) and the
+#: ``service.no_api`` runtime key.
+CONFIG_SCHEMA_VERSION = 5
 
 #: Model sections, in canonical order.
-MODEL_SECTIONS = ("core", "frontend", "mssr", "ri", "dir", "sampling")
+MODEL_SECTIONS = ("core", "frontend", "mem", "mssr", "ri", "dir",
+                  "sampling")
 
 #: Extra model sections required by each job kind (``core`` and
 #: ``frontend`` are always present; ``sampling`` joins when the job is
@@ -182,6 +184,24 @@ _DOCS = {
     "core.l2_latency": "L2 hit latency (cycles).",
     "core.dram_latency": "DRAM latency (cycles).",
     "core.max_cycles": "Simulated-cycle safety guard.",
+    "mem.model":
+        "Memory-system model: flat = synchronous two-level probe "
+        "(default, drives core.l1_*/l2_* knobs); ported = L1I + L1D "
+        "behind a shared L2 with MSHRs and completion-cycle requests.",
+    "mem.line_bytes": "Cache line size, all levels (bytes; power of two).",
+    "mem.l1i_size": "Ported L1 instruction cache size (bytes).",
+    "mem.l1i_assoc": "Ported L1 instruction cache associativity.",
+    "mem.l1d_size": "Ported L1 data cache size (bytes).",
+    "mem.l1d_assoc": "Ported L1 data cache associativity.",
+    "mem.l1d_latency": "Ported L1 data cache hit latency (cycles).",
+    "mem.l2_size": "Ported shared L2 size (bytes).",
+    "mem.l2_assoc": "Ported shared L2 associativity.",
+    "mem.l2_latency": "Ported shared L2 hit latency (cycles).",
+    "mem.dram_latency": "Ported-model DRAM latency (cycles).",
+    "mem.mshrs":
+        "Outstanding line misses per L1 port (same-line misses merge; "
+        "a full MSHR file stalls the request).",
+    "mem.ports": "Requests each memory port accepts per cycle.",
     "mssr.num_streams": "Wrong-path streams tracked (N; DCI = 1).",
     "mssr.wpb_entries": "Wrong-Path Buffer fetch blocks per stream (M).",
     "mssr.squash_log_entries": "Squash Log instructions per stream (P).",
@@ -222,6 +242,7 @@ _CHOICES = {
     "core.predictor": ("always-taken", "bimodal", "gshare", "tage",
                        "tage-scl"),
     "mssr.memory_hazard_scheme": ("verify", "bloom"),
+    "mem.model": ("flat", "ported"),
 }
 
 _ENV_TYPES = {"str": str, "path": str, "int": int, "float": float,
@@ -249,13 +270,14 @@ def _dataclass_fields(section, cls, skip=()):
 def _build_schema():
     from repro.baselines.dir_reuse import DIRConfig
     from repro.pipeline.config import (CoreConfig, FrontendConfig,
-                                       MSSRConfig, RIConfig)
+                                       MemConfig, MSSRConfig, RIConfig)
     from repro.sampling.sampler import SamplingSpec
 
     specs = []
     specs += _dataclass_fields("core", CoreConfig,
-                               skip=("frontend", "mssr", "ri"))
+                               skip=("frontend", "mem", "mssr", "ri"))
     specs += _dataclass_fields("frontend", FrontendConfig)
+    specs += _dataclass_fields("mem", MemConfig)
     specs += _dataclass_fields("mssr", MSSRConfig)
     specs += _dataclass_fields("ri", RIConfig)
     dir_defaults = DIRConfig()
@@ -311,7 +333,7 @@ def model_keys(kind=None, sampled=False):
             raise KeyError("unknown config kind %r%s"
                            % (kind, suggestion(kind,
                                                KIND_SECTIONS))) from None
-        sections = ("core", "frontend") + extra \
+        sections = ("core", "frontend", "mem") + extra \
             + (("sampling",) if sampled else ())
     out = []
     for section in sections:

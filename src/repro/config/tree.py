@@ -268,7 +268,7 @@ def build_core_config(kind, overrides=()):
     """A :class:`~repro.pipeline.config.CoreConfig` (with the scheme
     sub-config for ``kind``) from defaults + ``overrides``."""
     from repro.pipeline.config import (CoreConfig, FrontendConfig,
-                                       MSSRConfig, RIConfig)
+                                       MemConfig, MSSRConfig, RIConfig)
 
     snapshot = job_snapshot(kind, overrides)
     kwargs = {key.partition(".")[2]: value
@@ -278,6 +278,10 @@ def build_core_config(kind, overrides=()):
         **{key.partition(".")[2]: value
            for key, value in snapshot.items()
            if key.startswith("frontend.")})
+    kwargs["mem"] = MemConfig(
+        **{key.partition(".")[2]: value
+           for key, value in snapshot.items()
+           if key.startswith("mem.")})
     if kind == "mssr":
         kwargs["mssr"] = MSSRConfig(**{key.partition(".")[2]: value
                                        for key, value in snapshot.items()

@@ -367,7 +367,7 @@ class FetchUnit:
         block.ready_cycle = cycle + self.fetch_latency
         if self.icache is not None and insts:
             block.ready_cycle += self.icache.access(block.start_pc,
-                                                    block.end_pc)
+                                                    block.end_pc, cycle)
 
         if next_pc is None:
             self.stalled = True

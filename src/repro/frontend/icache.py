@@ -1,19 +1,26 @@
 """Instruction-cache latency model for the decoupled fetch pipeline.
 
-A deliberately small model: a direct-mapped cache of ``lines`` 64-byte
-lines over the code image. The fetch pipeline looks up one prediction
-block per access (:meth:`InstructionCache.access`); if every line the
-block spans is resident the access is a hit and costs nothing beyond the
-baseline ``frontend.fetch_latency``, otherwise the missing lines are
-filled and the block's delivery is delayed by ``miss_latency`` extra
-cycles. Wrong-path fetches probe and fill the cache exactly like
-correct-path ones — wrong-path prefetch warming the icache is a real
-(and here faithfully modelled) side effect of deep speculation.
+A deliberately small model: a direct-mapped :class:`repro.mem.cache.
+Cache` (assoc=1) of ``lines`` 64-byte lines over the code image — the
+same cache class that models every data-side level. The fetch pipeline
+looks up one prediction block per access (:meth:`InstructionCache.
+access`); if every line the block spans is resident the access is a hit
+and costs nothing beyond the baseline ``frontend.fetch_latency``,
+otherwise the missing lines are filled and the block's delivery is
+delayed by ``miss_latency`` extra cycles. Wrong-path fetches probe and
+fill the cache exactly like correct-path ones — wrong-path prefetch
+warming the icache is a real (and here faithfully modelled) side effect
+of deep speculation.
 
 The model is off by default (``frontend.icache_lines = 0`` builds no
 cache at all), so default-config runs are bit-identical with or without
-this module.
+this module. With ``mem.model = "ported"`` this standalone icache is
+replaced by :class:`repro.mem.ports.PortedICache`, which serves the
+same ``access(start_pc, end_pc, cycle)`` contract from an L1I behind
+the shared L2.
 """
+
+from repro.mem.cache import Cache
 
 #: Line size in bytes (fixed; 16 four-byte instructions).
 LINE_BYTES = 64
@@ -31,7 +38,7 @@ class InstructionCache:
     ``icache_misses`` counters).
     """
 
-    __slots__ = ("lines", "miss_latency", "obs", "tags", "_index_mask")
+    __slots__ = ("lines", "miss_latency", "obs", "cache")
 
     def __init__(self, lines, miss_latency, obs=None):
         if lines <= 0 or lines & (lines - 1):
@@ -40,23 +47,22 @@ class InstructionCache:
         self.lines = lines
         self.miss_latency = miss_latency
         self.obs = obs
-        self.tags = [None] * lines
-        self._index_mask = lines - 1
+        self.cache = Cache("L1I", lines * LINE_BYTES, 1, LINE_BYTES,
+                           latency=miss_latency)
 
-    def access(self, start_pc, end_pc):
+    def access(self, start_pc, end_pc, cycle=0):
         """Probe every line in ``[start_pc, end_pc]``; returns the extra
         delay (0 on a full hit, ``miss_latency`` otherwise). Missing
-        lines are filled."""
-        tags = self.tags
-        mask = self._index_mask
-        first = start_pc >> _LINE_SHIFT
-        last = end_pc >> _LINE_SHIFT
+        lines are filled. ``cycle`` is accepted for interface parity
+        with the ported icache (this synchronous model ignores it)."""
+        cache = self.cache
         hit = True
-        for line in range(first, last + 1):
-            idx = line & mask
-            if tags[idx] != line:
-                tags[idx] = line
+        addr = (start_pc >> _LINE_SHIFT) << _LINE_SHIFT
+        while addr <= end_pc:
+            if not cache.probe(addr):
+                cache.fill(addr)
                 hit = False
+            addr += LINE_BYTES
         delay = 0 if hit else self.miss_latency
         if self.obs is not None:
             self.obs.icache_access(start_pc, end_pc, hit, delay)
@@ -64,4 +70,4 @@ class InstructionCache:
 
     def flush(self):
         """Invalidate every line (testing hook)."""
-        self.tags = [None] * self.lines
+        self.cache.flush()

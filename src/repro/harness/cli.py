@@ -213,6 +213,10 @@ def _build_parser():
     serve.add_argument("--job-timeout", type=float, default=None,
                        help="per-job wall-clock guard in seconds "
                             "(default: REPRO_JOB_TIMEOUT)")
+    serve.add_argument("--no-api", action="store_true", default=None,
+                       help="worker-only mode: run the broker against "
+                            "the shared store without the HTTP listener "
+                            "(default: REPRO_SERVICE_NO_API)")
 
     submit = sub.add_parser(
         "submit", help="submit a sweep file to a running simulation "
@@ -704,11 +708,15 @@ def _cmd_cache(args, out):
 
 
 def _cmd_serve(args, out):
+    from repro.config import envreg
     from repro.service import serve as serve_service
+    no_api = args.no_api if args.no_api is not None \
+        else envreg.get("REPRO_SERVICE_NO_API")
     counters = serve_service(directory=args.directory, host=args.host,
                              port=args.port, workers=args.workers,
                              lease_ttl=args.lease_ttl,
-                             job_timeout=args.job_timeout)
+                             job_timeout=args.job_timeout,
+                             no_api=no_api)
     out.write("service stopped; counters: %s\n"
               % json.dumps(counters, sort_keys=True))
     return 0

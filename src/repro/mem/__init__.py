@@ -1,6 +1,15 @@
-"""Timing model of the data-memory hierarchy (L1D, L2, DRAM)."""
+"""Timing models of the memory hierarchy.
 
-from repro.mem.cache import Cache
+Two models share one :class:`Cache` level implementation: the flat
+synchronous :class:`MemoryHierarchy` (default) and the port-based
+:class:`PortedMemorySystem` (L1I + L1D behind a shared L2, MSHRs,
+completion-cycle requests).
+"""
+
+from repro.mem.cache import Cache, REPLACEMENT_POLICIES
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.ports import (MemPort, MSHRFile, PortedICache,
+                             PortedMemorySystem)
 
-__all__ = ["Cache", "MemoryHierarchy"]
+__all__ = ["Cache", "REPLACEMENT_POLICIES", "MemoryHierarchy",
+           "MemPort", "MSHRFile", "PortedICache", "PortedMemorySystem"]

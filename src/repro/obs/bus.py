@@ -26,6 +26,7 @@ from repro.obs.events import (
     IcacheAccessEvent,
     IntervalEvent,
     IssueEvent,
+    MemAccessEvent,
     ReconvergeEvent,
     RenameEvent,
     ReuseAttemptEvent,
@@ -109,6 +110,38 @@ class Observability:
         if self.enabled:
             self.emit(IcacheAccessEvent(self.cycle, start_pc, end_pc, hit,
                                         delay))
+
+    def mem_access(self, cycle, seq, addr, is_write, level, latency,
+                   outstanding, merged):
+        """One L1D-port request (ported memory model only). ``level``
+        is ``l1`` / ``l2`` / ``dram`` / ``mshr`` (same-line merge)."""
+        stats = self.stats
+        stats.mem_accesses += 1
+        if level == "l1":
+            stats.mem_l1d_hits += 1
+        elif level == "l2":
+            stats.mem_l1d_misses += 1
+            stats.mem_l2_hits += 1
+        elif level == "dram":
+            stats.mem_l1d_misses += 1
+            stats.mem_l2_misses += 1
+            stats.mem_dram_accesses += 1
+        else:  # mshr merge
+            stats.mem_mshr_merges += 1
+        if outstanding > stats.mem_mshr_peak:
+            stats.mem_mshr_peak = outstanding
+        if self.enabled:
+            self.emit(MemAccessEvent(cycle, seq, addr, is_write, level,
+                                     latency, outstanding, merged))
+
+    def mem_mshr_stall(self):
+        """An L1D-port request found every MSHR busy and waited."""
+        self.stats.mem_mshr_stalls += 1
+
+    def mem_wrong_path(self, count):
+        """``count`` squashed (wrong-path) instructions had issued a
+        memory access before the squash (ported model only)."""
+        self.stats.mem_wrong_path_insts += count
 
     def wrong_path_capture(self, block, pending):
         self.stats.wpb_captures_ftq += 1

@@ -81,6 +81,30 @@ class IcacheAccessEvent(Event):
         self.delay = delay
 
 
+class MemAccessEvent(Event):
+    """The L1D port served one load/store request (``mem.model =
+    "ported"`` only). ``level`` names where the request was satisfied —
+    ``l1`` / ``l2`` / ``dram``, or ``mshr`` when it merged onto an
+    in-flight same-line miss. ``latency`` is issue-to-completion in
+    cycles; ``outstanding`` the port's MSHR occupancy after the request
+    (>1 means overlapping misses, i.e. real MLP)."""
+
+    __slots__ = ("cycle", "seq", "addr", "is_write", "level", "latency",
+                 "outstanding", "merged")
+    etype = "mem-access"
+
+    def __init__(self, cycle, seq, addr, is_write, level, latency,
+                 outstanding, merged):
+        self.cycle = cycle
+        self.seq = seq
+        self.addr = addr
+        self.is_write = is_write
+        self.level = level
+        self.latency = latency
+        self.outstanding = outstanding
+        self.merged = merged
+
+
 class WrongPathCaptureEvent(Event):
     """FTQ-sourced MSSR capture handed one squashed prediction block to
     the reuse scheme at branch-squash time (``mssr.ftq_capture``).
@@ -315,10 +339,10 @@ class JobStateEvent(Event):
 
 #: Every concrete event class, in pipeline order (trace documentation).
 EVENT_TYPES = (FtqEnqueueEvent, FetchStallEvent, IcacheAccessEvent,
-               FetchEvent, RenameEvent, IssueEvent, WritebackEvent,
-               CommitEvent, SquashEvent, WrongPathCaptureEvent,
-               ReconvergeEvent, ReuseAttemptEvent, IntervalEvent,
-               JobStateEvent)
+               MemAccessEvent, FetchEvent, RenameEvent, IssueEvent,
+               WritebackEvent, CommitEvent, SquashEvent,
+               WrongPathCaptureEvent, ReconvergeEvent, ReuseAttemptEvent,
+               IntervalEvent, JobStateEvent)
 
 
 def format_event(event):

@@ -22,6 +22,7 @@ from repro.obs.events import (
     FtqEnqueueEvent,
     IcacheAccessEvent,
     IssueEvent,
+    MemAccessEvent,
     ReconvergeEvent,
     RenameEvent,
     ReuseAttemptEvent,
@@ -197,7 +198,9 @@ class MetricsSink(Sink):
         "reconv_simple", "reconv_software", "reconv_hardware",
         "stream_distance_hist", "ftq_enqueues", "fetch_stalls",
         "fetch_stall_reasons", "icache_accesses", "icache_misses",
-        "wpb_captures_ftq",
+        "wpb_captures_ftq", "mem_accesses", "mem_l1d_hits",
+        "mem_l1d_misses", "mem_l2_hits", "mem_l2_misses",
+        "mem_dram_accesses", "mem_mshr_merges", "mem_mshr_peak",
     )
 
     def __init__(self):
@@ -228,6 +231,21 @@ class MetricsSink(Sink):
             stats.icache_accesses += 1
             if not event.hit:
                 stats.icache_misses += 1
+        elif kind is MemAccessEvent:
+            stats.mem_accesses += 1
+            if event.level == "l1":
+                stats.mem_l1d_hits += 1
+            elif event.level == "l2":
+                stats.mem_l1d_misses += 1
+                stats.mem_l2_hits += 1
+            elif event.level == "dram":
+                stats.mem_l1d_misses += 1
+                stats.mem_l2_misses += 1
+                stats.mem_dram_accesses += 1
+            else:
+                stats.mem_mshr_merges += 1
+            if event.outstanding > stats.mem_mshr_peak:
+                stats.mem_mshr_peak = event.outstanding
         elif kind is WrongPathCaptureEvent:
             stats.wpb_captures_ftq += 1
         elif kind is SquashEvent:

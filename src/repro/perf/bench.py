@@ -52,14 +52,17 @@ class BenchPoint:
     harness configuration kind (``baseline``/``mssr``/...), only
     meaningful for core points. ``variant`` selects an alternate
     dispatch strategy of the same engine — currently ``"superblock"``
-    for emulator points — and is omitted from the spec when unset so
-    reports from before the field existed round-trip unchanged.
+    for emulator points. ``config`` holds extra dotted
+    configuration-tree overrides for core points (``{"mem.model":
+    "ported"}``). Both are omitted from the spec when unset so reports
+    from before the fields existed round-trip unchanged.
     """
 
-    __slots__ = ("name", "mode", "workload", "kind", "scale", "variant")
+    __slots__ = ("name", "mode", "workload", "kind", "scale", "variant",
+                 "config")
 
     def __init__(self, name, mode, workload, kind="baseline", scale=0.2,
-                 variant=None):
+                 variant=None, config=None):
         if mode not in ("emu", "core", "batch"):
             raise ValueError("mode must be 'emu', 'core' or 'batch', "
                              "got %r" % mode)
@@ -69,6 +72,7 @@ class BenchPoint:
         self.kind = kind
         self.scale = scale
         self.variant = variant
+        self.config = dict(config) if config else None
 
     def spec(self):
         out = {"name": self.name, "mode": self.mode,
@@ -76,6 +80,8 @@ class BenchPoint:
                "scale": self.scale}
         if self.variant is not None:
             out["variant"] = self.variant
+        if self.config is not None:
+            out["config"] = dict(self.config)
         return out
 
     @classmethod
@@ -83,7 +89,8 @@ class BenchPoint:
         return cls(spec["name"], spec["mode"], spec["workload"],
                    kind=spec.get("kind", "baseline"),
                    scale=spec.get("scale", 0.2),
-                   variant=spec.get("variant"))
+                   variant=spec.get("variant"),
+                   config=spec.get("config"))
 
     def __repr__(self):
         return "<BenchPoint %s>" % self.name
@@ -108,6 +115,8 @@ DEFAULT_MATRIX = (
                kind="baseline", scale=0.2),
     BenchPoint("core-batched-nested-mispred", "batch", "nested-mispred",
                scale=0.1),
+    BenchPoint("core-ported-ptr-chase", "core", "ptr-chase", scale=0.2,
+               config={"mem.model": "ported"}),
 )
 
 #: Subset used by the CI smoke run. These are the *same* point
@@ -202,8 +211,9 @@ def run_point(point, repeats=3):
         _mod, prog = get_workload(point.workload).build(point.scale)
         prog.predecode()
         for _ in range(repeats):
-            core = O3Core(prog, build_config(point.kind),
-                          reuse_scheme=build_scheme(point.kind))
+            core = O3Core(prog, build_config(point.kind, point.config),
+                          reuse_scheme=build_scheme(point.kind,
+                                                    point.config))
             start = time.perf_counter()
             result = core.run()
             best = min(best, time.perf_counter() - start)
@@ -271,8 +281,9 @@ def profile_point(point, out_path, repeats=1):
         from repro.harness.jobs import build_config, build_scheme
         from repro.pipeline.core import O3Core
         for _ in range(repeats):
-            core = O3Core(prog, build_config(point.kind),
-                          reuse_scheme=build_scheme(point.kind))
+            core = O3Core(prog, build_config(point.kind, point.config),
+                          reuse_scheme=build_scheme(point.kind,
+                                                    point.config))
             profiler.enable()
             core.run()
             profiler.disable()

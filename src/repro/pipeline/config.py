@@ -10,6 +10,7 @@ from typing import Optional
 MEMORY_HAZARD_SCHEMES = ("verify", "bloom")
 PREDICTOR_KINDS = ("always-taken", "bimodal", "gshare", "tage",
                    "tage-scl")
+MEM_MODELS = ("flat", "ported")
 
 
 def _check_choice(what, value, choices):
@@ -126,6 +127,48 @@ class FrontendConfig:
 
 
 @dataclasses.dataclass
+class MemConfig:
+    """Memory-system parameters (the ``mem.*`` config section).
+
+    ``model="flat"`` (default) keeps the synchronous two-level
+    ``MemoryHierarchy`` — driven by the ``core.l1_*``/``core.l2_*``
+    knobs for stat-parity with pinned snapshots; the ``mem.*`` cache
+    geometry below is ignored. ``model="ported"`` switches to the
+    port-based system: L1I + L1D (one ``Cache`` class) behind one
+    shared L2, bounded MSHRs with same-line miss merging, and
+    completion-cycle requests from execute and fetch. The L1I has no
+    latency knob because its hit latency is already modeled by
+    ``frontend.fetch_latency``.
+    """
+
+    model: str = "flat"
+    line_bytes: int = 64
+    l1i_size: int = 32 * 1024
+    l1i_assoc: int = 4
+    l1d_size: int = 64 * 1024
+    l1d_assoc: int = 4
+    l1d_latency: int = 3
+    l2_size: int = 2 * 1024 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 12
+    dram_latency: int = 120
+    #: Outstanding line misses per L1 port (same-line misses merge).
+    mshrs: int = 8
+    #: Requests each port accepts per cycle.
+    ports: int = 2
+
+    def __post_init__(self):
+        _check_choice("mem.model", self.model, MEM_MODELS)
+        _check_positive(self, "line_bytes", "l1i_size", "l1i_assoc",
+                        "l1d_size", "l1d_assoc", "l1d_latency",
+                        "l2_size", "l2_assoc", "l2_latency",
+                        "dram_latency", "mshrs", "ports")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two, got %d"
+                             % self.line_bytes)
+
+
+@dataclasses.dataclass
 class CoreConfig:
     """Out-of-order core parameters."""
 
@@ -172,6 +215,8 @@ class CoreConfig:
     l2_assoc: int = 8
     l2_latency: int = 12
     dram_latency: int = 120
+    #: Memory-system section (the ``mem.*`` config keys).
+    mem: MemConfig = dataclasses.field(default_factory=MemConfig)
 
     # Reuse scheme: None (baseline), an MSSRConfig, or an RIConfig.
     mssr: Optional[MSSRConfig] = None
@@ -185,6 +230,8 @@ class CoreConfig:
             raise ValueError("enable at most one reuse scheme")
         if isinstance(self.frontend, dict):
             self.frontend = FrontendConfig(**self.frontend)
+        if isinstance(self.mem, dict):
+            self.mem = MemConfig(**self.mem)
         if self.num_phys_regs < 32 + self.width:
             raise ValueError("too few physical registers")
         _check_choice("predictor", self.predictor, PREDICTOR_KINDS)
@@ -206,6 +253,11 @@ class CoreConfig:
                              "frontend.decoupled (the fused frontend has "
                              "no FTQ to capture from; decode-time capture "
                              "is its fallback)")
+        if self.mem.model == "ported" and self.frontend.icache_lines:
+            raise ValueError("frontend.icache_lines conflicts with "
+                             "mem.model=ported (the ported system brings "
+                             "its own L1I behind the shared L2; drop the "
+                             "flat icache knobs)")
 
 
 def baseline_config(**overrides):

@@ -30,6 +30,7 @@ from repro.isa.registers import NUM_ARCH_REGS, reg_num
 from repro.emu.memory import SparseMemory
 from repro.log import get_logger
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.ports import PortedMemorySystem
 from repro.obs.bus import Observability
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.latches import (CompletionQueue, CoreState, DecodeQueue,
@@ -108,11 +109,23 @@ class O3Core:
         state.stats = state.obs.stats
 
         state.memory = SparseMemory(program.initial_memory())
-        state.hierarchy = MemoryHierarchy(
-            l1_size=cfg.l1_size, l1_assoc=cfg.l1_assoc,
-            l1_latency=cfg.l1_latency, l2_size=cfg.l2_size,
-            l2_assoc=cfg.l2_assoc, l2_latency=cfg.l2_latency,
-            dram_latency=cfg.dram_latency)
+        if cfg.mem.model == "ported":
+            mc = cfg.mem
+            state.memsys = PortedMemorySystem(
+                line_bytes=mc.line_bytes,
+                l1i_size=mc.l1i_size, l1i_assoc=mc.l1i_assoc,
+                l1d_size=mc.l1d_size, l1d_assoc=mc.l1d_assoc,
+                l1d_latency=mc.l1d_latency, l2_size=mc.l2_size,
+                l2_assoc=mc.l2_assoc, l2_latency=mc.l2_latency,
+                dram_latency=mc.dram_latency, mshrs=mc.mshrs,
+                ports=mc.ports, obs=state.obs)
+            state.hierarchy = state.memsys
+        else:
+            state.hierarchy = MemoryHierarchy(
+                l1_size=cfg.l1_size, l1_assoc=cfg.l1_assoc,
+                l1_latency=cfg.l1_latency, l2_size=cfg.l2_size,
+                l2_assoc=cfg.l2_assoc, l2_latency=cfg.l2_latency,
+                dram_latency=cfg.dram_latency)
         state.regfile = PhysRegFile(cfg.num_phys_regs, NUM_ARCH_REGS)
 
         scheme = reuse_scheme
@@ -131,7 +144,9 @@ class O3Core:
         state.btb = BranchTargetBuffer(cfg.btb_sets, cfg.btb_assoc)
         state.ras = ReturnAddressStack(cfg.ras_depth)
         icache = None
-        if cfg.frontend is not None and cfg.frontend.icache_lines:
+        if state.memsys is not None:
+            icache = state.memsys.icache
+        elif cfg.frontend is not None and cfg.frontend.icache_lines:
             icache = InstructionCache(cfg.frontend.icache_lines,
                                       cfg.frontend.icache_latency,
                                       obs=state.obs)

@@ -159,7 +159,7 @@ class CoreState:
         # configuration & observability
         "config", "obs", "stats",
         # architectural machinery
-        "memory", "hierarchy", "regfile", "rat", "rob", "lsq",
+        "memory", "hierarchy", "memsys", "regfile", "rat", "rob", "lsq",
         # frontend
         "program", "predictor", "btb", "ras", "fetch",
         # backend structures
@@ -176,6 +176,7 @@ class CoreState:
     def __init__(self):
         self.cycle = 0
         self.halted = False
+        self.memsys = None           # PortedMemorySystem (ported mode only)
         self.last_commit_cycle = 0
         self.last_retired_block = -1
         self.commit_limit = None     # committed-inst budget (run(max_insts=))

@@ -28,8 +28,8 @@ class ExecuteStage:
     """Select ready instructions from the issue queues and execute them."""
 
     __slots__ = ("state", "width", "iqs", "fus", "regfile", "lsq",
-                 "hierarchy", "completions", "obs", "config",
-                 "kind_latency", "execute_inst")
+                 "hierarchy", "dport", "fwd_latency", "completions",
+                 "obs", "config", "kind_latency", "execute_inst")
 
     def __init__(self, state):
         cfg = state.config
@@ -40,6 +40,13 @@ class ExecuteStage:
         self.regfile = state.regfile
         self.lsq = state.lsq
         self.hierarchy = state.hierarchy
+        # Ported mode: loads/stores issue completion-cycle requests on
+        # the L1D port (overlapping misses) instead of the synchronous
+        # hierarchy probe; store-to-load forwards cost an L1 hit.
+        self.dport = state.memsys.dport if state.memsys is not None \
+            else None
+        self.fwd_latency = cfg.mem.l1d_latency \
+            if state.memsys is not None else cfg.l1_latency
         self.completions = state.completions
         self.obs = state.obs
         self.config = cfg
@@ -90,8 +97,13 @@ class ExecuteStage:
             dyn.mem_addr = addr
             dyn.mem_size = pd.mem_size
             dyn.store_data = values[sp[0]] & pd.store_mask
-            latency = self.kind_latency[KIND_STORE] \
-                + self.hierarchy.access(addr, is_write=True)
+            if self.dport is not None:
+                latency = self.kind_latency[KIND_STORE] \
+                    + self.dport.request(cycle, addr, is_write=True,
+                                         seq=dyn.seq) - cycle
+            else:
+                latency = self.kind_latency[KIND_STORE] \
+                    + self.hierarchy.access(addr, is_write=True)
         else:                          # nop / halt (never issued; parity)
             latency = self.kind_latency[kind]
         events = self.completions.by_cycle
@@ -135,7 +147,11 @@ class ExecuteStage:
         else:
             dyn.result = value
         if forwarded:
-            return self.config.l1_latency
+            return self.fwd_latency
+        if self.dport is not None:
+            cycle = dyn.issue_cycle
+            return 1 + self.dport.request(cycle, addr,
+                                          seq=dyn.seq) - cycle
         return 1 + self.hierarchy.access(addr)
 
     # ------------------------------------------------------------------
@@ -165,7 +181,11 @@ class ExecuteStage:
             dyn.mem_addr = addr
             dyn.mem_size = info.mem_size
             dyn.store_data = srcs[0] & ((1 << (info.mem_size * 8)) - 1)
-            latency += self.hierarchy.access(addr, is_write=True)
+            if self.dport is not None:
+                latency += self.dport.request(cycle, addr, is_write=True,
+                                              seq=dyn.seq) - cycle
+            else:
+                latency += self.hierarchy.access(addr, is_write=True)
         else:
             if info.has_imm:
                 a = srcs[0] if info.num_srcs else 0
@@ -209,5 +229,9 @@ class ExecuteStage:
         else:
             dyn.result = value
         if forwarded:
-            return self.config.l1_latency
+            return self.fwd_latency
+        if self.dport is not None:
+            cycle = dyn.issue_cycle
+            return 1 + self.dport.request(cycle, addr,
+                                          seq=dyn.seq) - cycle
         return 1 + self.hierarchy.access(addr)

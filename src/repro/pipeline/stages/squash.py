@@ -56,6 +56,13 @@ class SquashUnit:
             self.rat.rollback(dyn)
         self.obs.squash(request.kind, request.trigger, boundary,
                         request.redirect_pc, squashed, dropped_seqs)
+        if self.state.memsys is not None:
+            # Wrong-path memory footprint: squashed instructions whose
+            # access already probed (and filled) the ported hierarchy.
+            wrong_path_mem = sum(1 for dyn in squashed
+                                 if dyn.issued and dyn.mem_addr is not None)
+            if wrong_path_mem:
+                self.obs.mem_wrong_path(wrong_path_mem)
 
         # 4. FTQ: carve out the squashed blocks (for the WPBs). The
         #    boundary block is split so instructions at or before the

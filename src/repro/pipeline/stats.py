@@ -33,6 +33,18 @@ class SimStats:
         self.icache_accesses = 0
         self.icache_misses = 0
 
+        # Ported memory system (all zero when mem.model is "flat")
+        self.mem_accesses = 0
+        self.mem_l1d_hits = 0
+        self.mem_l1d_misses = 0
+        self.mem_l2_hits = 0
+        self.mem_l2_misses = 0
+        self.mem_dram_accesses = 0
+        self.mem_mshr_merges = 0
+        self.mem_mshr_stalls = 0
+        self.mem_mshr_peak = 0       # max MSHR occupancy seen (>1 = MLP)
+        self.mem_wrong_path_insts = 0
+
         self.cond_branches = 0
         self.cond_mispredicts = 0
         self.indirect_branches = 0

@@ -164,7 +164,12 @@ def warm_frontend(core, checkpoint, warmup_branches=None, warmup_mem=None):
     if warmup_branches is not None:
         branch_trace = branch_trace[-warmup_branches:] \
             if warmup_branches else []
+    # Ported hierarchy: the branch trace's PCs double as an L1I/L2
+    # instruction-side warmup (the flat model has no shared icache).
+    warm_inst = getattr(core.hierarchy, "warm_inst", None)
     for pc, taken, target, flags in branch_trace:
+        if warm_inst is not None:
+            warm_inst(pc)
         taken = bool(taken)
         if flags & FLAG_COND:
             pred_taken, meta = predictor.predict(pc)
@@ -185,7 +190,7 @@ def warm_frontend(core, checkpoint, warmup_branches=None, warmup_mem=None):
     if warmup_mem is not None:
         mem_trace = mem_trace[-warmup_mem:] if warmup_mem else []
     for addr, is_write in mem_trace:
-        core.hierarchy.access(addr, is_write=bool(is_write))
+        core.hierarchy.warm(addr, is_write=bool(is_write))
 
 
 def _stats_delta(after, before):

@@ -5,6 +5,12 @@ it opens (or creates) the store, starts the broker loop and the HTTP
 server on one event loop, publishes ``endpoint.json`` into the store
 directory so clients can discover the URL, and runs until interrupted.
 
+``harness serve --no-api`` (or ``REPRO_SERVICE_NO_API``) runs the same
+stack *worker-only*: broker + store with no HTTP listener, for pure
+compute hosts that drain a shared store filled by an API-ful peer.
+``endpoint.json`` is then written api-less (``"api": false``, no
+host/port/url) so discovery knows there is nothing to connect to.
+
 :class:`ServiceThread` runs the same stack on a background thread —
 the test harness's way to stand up a real live server on an ephemeral
 port inside one process, then tear it down deterministically.
@@ -24,8 +30,11 @@ _log = get_logger("service.runtime")
 
 
 def _write_endpoint(directory, bound):
-    doc = {"host": bound[0], "port": bound[1], "pid": os.getpid(),
-           "url": "http://%s:%d" % bound}
+    if bound is None:
+        doc = {"api": False, "pid": os.getpid()}
+    else:
+        doc = {"api": True, "host": bound[0], "port": bound[1],
+               "pid": os.getpid(), "url": "http://%s:%d" % bound}
     path = os.path.join(directory, "endpoint.json")
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as handle:
@@ -42,27 +51,35 @@ def _remove_endpoint(directory):
 
 
 async def _serve(store, broker, api, stop, on_ready=None):
-    bound = await api.start()
+    bound = await api.start() if api is not None else None
     endpoint = _write_endpoint(store.directory, bound)
-    _log.info("service ready: %s (store %s)", endpoint["url"],
-              store.directory)
+    if bound is None:
+        _log.info("service ready: worker-only, no API (store %s)",
+                  store.directory)
+    else:
+        _log.info("service ready: %s (store %s)", endpoint["url"],
+                  store.directory)
     if on_ready is not None:
         on_ready(endpoint)
     try:
         await broker.run(stop)
     finally:
-        await api.stop()
+        if api is not None:
+            await api.stop()
         _remove_endpoint(store.directory)
 
 
 def serve(directory=None, host=None, port=None, workers=None,
-          lease_ttl=None, job_timeout=None, stop=None, on_ready=None):
+          lease_ttl=None, job_timeout=None, stop=None, on_ready=None,
+          no_api=False):
     """Run the full service until interrupted (or ``stop`` is set by
-    another task). Returns the store's final counters."""
+    another task). Returns the store's final counters. ``no_api=True``
+    runs worker-only: broker + store, no HTTP listener."""
     store = JobStore(directory)
     broker = Broker(store, workers=workers, lease_ttl=lease_ttl,
                     job_timeout=job_timeout)
-    api = ServiceAPI(store, broker, host=host, port=port)
+    api = None if no_api \
+        else ServiceAPI(store, broker, host=host, port=port)
 
     async def main():
         stop_event = stop if stop is not None else asyncio.Event()
@@ -91,14 +108,18 @@ class ServiceThread:
         with ServiceThread(tmpdir, workers=2) as svc:
             client = ServiceClient(url=svc.url)
             ...
+
+    ``no_api=True`` stands up a worker-only service (``url`` stays
+    None; jobs reach it through the shared store directory).
     """
 
     def __init__(self, directory, host="127.0.0.1", port=0,
-                 workers=1, lease_ttl=None, job_timeout=None):
+                 workers=1, lease_ttl=None, job_timeout=None,
+                 no_api=False):
         self.directory = directory
         self._kwargs = dict(host=host, port=port, workers=workers,
                             lease_ttl=lease_ttl,
-                            job_timeout=job_timeout)
+                            job_timeout=job_timeout, no_api=no_api)
         self._ready = threading.Event()
         self._loop = None
         self._stop = None
@@ -140,7 +161,7 @@ class ServiceThread:
 
     @property
     def url(self):
-        return self.endpoint["url"] if self.endpoint else None
+        return self.endpoint.get("url") if self.endpoint else None
 
     def __enter__(self):
         return self.start()

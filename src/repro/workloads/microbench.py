@@ -114,3 +114,79 @@ def build_nested(scale=1.0):
           "Listing 1 with in-order branch resolution")
 def build_linear(scale=1.0):
     return _build(linear_mispred_kernel, scale)
+
+
+# ---------------------------------------------------------------------------
+# Pointer-chase micros (the "mem" suite): memory-level-parallelism
+# probes for the ported memory system. ``ptr-chase`` walks four
+# *independent* permutation chains per iteration — four misses can be
+# outstanding at once, so MSHR occupancy > 1 is the expected signature;
+# ``ptr-chase-dep`` chases one chain serially four times per iteration
+# (each load's address depends on the previous load's value), the
+# classic latency-bound anti-pattern the MLP probe is contrasted with.
+# ---------------------------------------------------------------------------
+
+#: Chain slots: 16384 8-byte words = 128KB, twice the default 64KB L1D,
+#: so the chase keeps missing L1 after warmup.
+_CHASE_WORDS = 16384
+
+
+def _chase_permutation(words):
+    """One full cycle over ``range(words)`` (Sattolo's algorithm, fixed
+    LCG so the image is deterministic), giving line-crossing jumps."""
+    perm = list(range(words))
+    seed = 0xC0FFEE
+    for i in range(words - 1, 0, -1):
+        seed = (seed * 6364136223846793005 + 1442695040888963407) \
+            % (1 << 64)
+        j = seed % i
+        perm[i], perm[j] = perm[j], perm[i]
+    return perm
+
+
+def ptr_chase_kernel(chain, n):
+    acc = 0
+    p0 = 0
+    p1 = 4096
+    p2 = 8192
+    p3 = 12288
+    for i in range(n):
+        p0 = chain[p0]
+        p1 = chain[p1]
+        p2 = chain[p2]
+        p3 = chain[p3]
+        acc = acc + p0 + p1 + p2 + p3
+    return acc & 0xFFFFFF
+
+
+def ptr_chase_dep_kernel(chain, n):
+    acc = 0
+    p = 0
+    for i in range(n):
+        p = chain[p]
+        p = chain[p]
+        p = chain[p]
+        p = chain[p]
+        acc = acc + p
+    return acc & 0xFFFFFF
+
+
+def _build_chase(kernel, scale):
+    mod = Module()
+    mod.add_function(kernel)
+    mod.array("chain", _chase_permutation(_CHASE_WORDS))
+    iterations = max(16, int(350 * scale))
+    prog = mod.build(kernel.__name__, [array_ref("chain"), iterations])
+    return mod, prog
+
+
+@register("ptr-chase", "mem",
+          "Four independent permutation chains per iteration (MLP probe)")
+def build_ptr_chase(scale=1.0):
+    return _build_chase(ptr_chase_kernel, scale)
+
+
+@register("ptr-chase-dep", "mem",
+          "One serially dependent permutation chain (latency-bound)")
+def build_ptr_chase_dep(scale=1.0):
+    return _build_chase(ptr_chase_dep_kernel, scale)

@@ -93,9 +93,11 @@ def test_coerce_parses_strings_and_validates_choices():
 def test_model_keys_per_kind():
     baseline = model_keys(kind="baseline")
     mssr = model_keys(kind="mssr")
-    # every kind resolves the core + frontend sections, nothing else
-    assert all(key.startswith(("core.", "frontend.")) for key in baseline)
+    # every kind resolves the core + frontend + mem sections, nothing else
+    assert all(key.startswith(("core.", "frontend.", "mem."))
+               for key in baseline)
     assert "frontend.ftq_depth" in baseline
+    assert "mem.model" in baseline
     assert "mssr.num_streams" in mssr
     assert "ri.num_sets" not in mssr
     assert "sampling.interval_insts" in model_keys(kind="mssr",

@@ -24,10 +24,14 @@ _PINNED = json.loads(
     (pathlib.Path(__file__).parent / "data"
      / "stage_parity_pinned.json").read_text())
 
-#: Counters introduced with the stage refactor: must be zero whenever
-#: their feature (icache model, FTQ capture) is off, which includes
-#: every pinned pre-refactor configuration.
-_NEW_COUNTERS = ("icache_accesses", "icache_misses", "wpb_captures_ftq")
+#: Counters introduced after the snapshots were pinned: must be zero
+#: whenever their feature (icache model, FTQ capture, ported memory) is
+#: off, which includes every pinned pre-refactor configuration.
+_NEW_COUNTERS = ("icache_accesses", "icache_misses", "wpb_captures_ftq",
+                 "mem_accesses", "mem_l1d_hits", "mem_l1d_misses",
+                 "mem_l2_hits", "mem_l2_misses", "mem_dram_accesses",
+                 "mem_mshr_merges", "mem_mshr_stalls", "mem_mshr_peak",
+                 "mem_wrong_path_insts")
 
 
 def _run_pinned(entry):

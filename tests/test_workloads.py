@@ -24,14 +24,15 @@ def test_workload_matches_native(name):
 
 
 def test_registry_contents():
-    assert set(SUITES) == {"micro", "gap", "spec2006", "spec2017",
+    assert set(SUITES) == {"micro", "mem", "gap", "spec2006", "spec2017",
                            "brchar"}
     assert len(SUITES["micro"]) == 2
+    assert len(SUITES["mem"]) == 2
     assert len(SUITES["gap"]) == 6
     assert len(SUITES["spec2006"]) == 6
     assert len(SUITES["spec2017"]) == 6
     assert len(SUITES["brchar"]) == 5
-    assert len(workload_names()) == 25
+    assert len(workload_names()) == 27
 
 
 def test_registry_unknown_name():
